@@ -1,0 +1,126 @@
+package letgo
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestToolchainRoundTrip drives the CLI toolchain end to end through real
+// files: MiniC source -> letgo-cc -> object -> letgo-asm -d -> listing,
+// source -> letgo-cc -S -> letgo-asm -> object, and letgo-run on each
+// artifact, with and without LetGo.
+func TestToolchainRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	program := `
+		var table [32] float;
+		var out float;
+		func main() {
+			var i int;
+			for (i = 0; i < 32; i = i + 1) { table[i] = sqrt(float(i)); }
+			out = table[3] + table[90000000];   // SIGSEGV
+		}
+	`
+	if err := os.WriteFile(src, []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command("go", append([]string{"run"}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Compile to object.
+	obj := filepath.Join(dir, "prog.lgo")
+	run("./cmd/letgo-cc", "-o", obj, src)
+	if fi, err := os.Stat(obj); err != nil || fi.Size() == 0 {
+		t.Fatalf("object missing: %v", err)
+	}
+
+	// Disassemble the object.
+	dis := run("./cmd/letgo-asm", "-d", obj)
+	for _, want := range []string{"main:", "push bp", "fsqrt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+
+	// Compile to assembly, then assemble that.
+	asmPath := filepath.Join(dir, "prog.s")
+	run("./cmd/letgo-cc", "-S", "-o", asmPath, src)
+	obj2 := filepath.Join(dir, "prog2.lgo")
+	run("./cmd/letgo-asm", "-o", obj2, asmPath)
+
+	// Both objects crash without LetGo and complete under LetGo-E.
+	for _, target := range []string{obj, obj2, src} {
+		outOff := runAllowFail(t, "./cmd/letgo-run", "-mode", "off", target)
+		if !strings.Contains(outOff, "crashed") || !strings.Contains(outOff, "SIGSEGV") {
+			t.Errorf("%s without LetGo: %s", target, outOff)
+		}
+		outE := run("./cmd/letgo-run", "-mode", "E", "-events", target)
+		if !strings.Contains(outE, "completed") || !strings.Contains(outE, "repair 1: SIGSEGV") {
+			t.Errorf("%s under LetGo-E: %s", target, outE)
+		}
+	}
+
+	// Crash report path.
+	outTrace := runAllowFail(t, "./cmd/letgo-run", "-mode", "off", "-trace", "8", src)
+	for _, want := range []string{"crash:", "registers:", "=>", "last 8 instructions"} {
+		if !strings.Contains(outTrace, want) {
+			t.Errorf("trace output missing %q:\n%s", want, outTrace)
+		}
+	}
+}
+
+// runAllowFail runs a command that may exit non-zero (crashing targets).
+func runAllowFail(t *testing.T, args ...string) string {
+	t.Helper()
+	out, _ := exec.Command("go", append([]string{"run"}, args...)...).CombinedOutput()
+	return string(out)
+}
+
+// TestInjectAndSimCLIs smoke-tests the campaign and simulation drivers in
+// their machine-readable modes.
+func TestInjectAndSimCLIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	out, err := exec.Command("go", "run", "./cmd/letgo-inject",
+		"-apps", "SNAP", "-n", "60", "-mode", "E", "-format", "json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("letgo-inject: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"app": "SNAP"`, `"continuability"`, `"median_crash_latency_instrs"`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("inject json missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command("go", "run", "./cmd/letgo-sim",
+		"-fig", "7", "-app", "SNAP", "-horizon", "1e8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("letgo-sim: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "T_chk") || !strings.Contains(string(out), "Gain") {
+		t.Errorf("sim output:\n%s", out)
+	}
+
+	out, err = exec.Command("go", "run", "./cmd/letgo-sim",
+		"-advise", "-app", "CLAMR", "-tchk", "1200", "-horizon", "1e8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("letgo-sim -advise: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "recommendation") {
+		t.Errorf("advise output:\n%s", out)
+	}
+}

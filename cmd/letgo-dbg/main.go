@@ -1,0 +1,81 @@
+// letgo-dbg is an interactive, gdb-flavoured debugger for programs on the
+// simulated machine. It exposes the same control surface LetGo is built
+// on: signal dispositions, breakpoints with ignore counts, register and
+// memory inspection, single-stepping, and manual PC rewriting — so a
+// LetGo repair can be performed by hand, command by command.
+//
+// Usage:
+//
+//	letgo-dbg -app LULESH
+//	letgo-dbg prog.mc
+//
+// Commands: help, break, info, run, continue, step, regs, x, disas,
+// handle, set, pc, letgo, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/lang"
+)
+
+func main() {
+	appName := flag.String("app", "", "load a built-in benchmark app")
+	flag.Parse()
+
+	prog, err := loadProgram(*appName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "letgo-dbg:", err)
+		os.Exit(1)
+	}
+	s, err := newSession(prog, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "letgo-dbg:", err)
+		os.Exit(1)
+	}
+	fmt.Println("letgo-dbg: type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(ldb) ")
+	for sc.Scan() {
+		if quit := s.exec(sc.Text()); quit {
+			return
+		}
+		fmt.Print("(ldb) ")
+	}
+}
+
+func loadProgram(appName string, args []string) (*isa.Program, error) {
+	if appName != "" {
+		a, ok := apps.ByName(appName)
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q", appName)
+		}
+		return a.Compile()
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: letgo-dbg [-app NAME | file.{mc,s,lgo}]")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(args[0], ".mc"):
+		return lang.Compile(string(data))
+	case strings.HasSuffix(args[0], ".s"):
+		return asm.Assemble(string(data))
+	default:
+		var p isa.Program
+		if err := p.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	}
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/debug"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// session is the debugger REPL state; exec processes one command line and
+// reports whether the session should end.
+type session struct {
+	prog *isa.Program
+	m    *vm.Machine
+	d    *debug.Debugger
+	an   *pin.Analysis
+	out  io.Writer
+	// lastStop remembers the most recent stop for the letgo command.
+	lastStop *debug.Stop
+	budget   uint64
+}
+
+func newSession(prog *isa.Program, out io.Writer) (*session, error) {
+	m, err := vm.New(prog, vm.Config{Out: out})
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		prog:   prog,
+		m:      m,
+		d:      debug.New(m),
+		an:     pin.Analyze(prog),
+		out:    out,
+		budget: 1 << 30,
+	}, nil
+}
+
+func (s *session) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+// resolveAddr parses a code address: hex/dec literal or function symbol.
+func (s *session) resolveAddr(tok string) (uint64, error) {
+	if sym, ok := s.prog.Symbol(tok); ok {
+		return sym.Addr, nil
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(tok, "0x"), 16, 64)
+	if err == nil {
+		return v, nil
+	}
+	v, err = strconv.ParseUint(tok, 10, 64)
+	if err == nil {
+		return v, nil
+	}
+	return 0, fmt.Errorf("cannot resolve %q", tok)
+}
+
+func (s *session) reportStop(stop *debug.Stop) {
+	s.lastStop = stop
+	switch stop.Reason {
+	case debug.StopHalt:
+		s.printf("program halted normally (%d instructions)\n", s.m.Retired)
+	case debug.StopBudget:
+		s.printf("instruction budget exhausted at pc=0x%x\n", s.m.PC)
+	case debug.StopBreakpoint:
+		in, _ := s.prog.InstrAt(s.m.PC)
+		s.printf("breakpoint at 0x%x: %v (hit %d)\n", s.m.PC, in, stop.BP.Hits)
+	case debug.StopSignal:
+		s.printf("stopped on %v at pc=0x%x: %v\n", stop.Signal, s.m.PC, stop.Trap)
+	case debug.StopTerminated:
+		s.printf("program terminated by %v: %v\n", stop.Signal, stop.Trap)
+	}
+}
+
+// exec runs one command; returns true to quit.
+func (s *session) exec(line string) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "q", "quit", "exit":
+		return true
+	case "h", "help":
+		s.printf(`commands:
+  break <sym|addr> [ignore]   set a breakpoint (optional ignore count)
+  delete <sym|addr>           remove a breakpoint
+  info break                  list breakpoints
+  handle <SIG> <stop|nostop>  set signal disposition (e.g. handle SIGSEGV stop)
+  run / continue              start / resume execution
+  step [n]                    execute n instructions (default 1)
+  regs                        dump registers
+  x <addr> [n]                examine n 64-bit words of memory
+  disas [sym]                 disassemble a function (default: around pc)
+  set <reg> <value>           write a register (set x3 42 / set f1 2.5)
+  pc [addr]                   show or rewrite the program counter
+  letgo                       repair the current signal stop by hand:
+                              advance pc past the faulting instruction
+  quit
+`)
+	case "break", "b":
+		if len(args) < 1 {
+			s.printf("break wants an address or symbol\n")
+			return false
+		}
+		addr, err := s.resolveAddr(args[0])
+		if err != nil {
+			s.printf("%v\n", err)
+			return false
+		}
+		var ignore uint64
+		if len(args) > 1 {
+			ignore, _ = strconv.ParseUint(args[1], 10, 64)
+		}
+		if _, err := s.d.SetBreakpoint(addr, ignore); err != nil {
+			s.printf("%v\n", err)
+			return false
+		}
+		s.printf("breakpoint at 0x%x (ignore %d)\n", addr, ignore)
+	case "delete":
+		if len(args) < 1 {
+			s.printf("delete wants an address or symbol\n")
+			return false
+		}
+		addr, err := s.resolveAddr(args[0])
+		if err != nil {
+			s.printf("%v\n", err)
+			return false
+		}
+		s.d.ClearBreakpoint(addr)
+	case "info":
+		for _, bp := range s.d.Breakpoints() {
+			s.printf("breakpoint 0x%x ignore=%d hits=%d\n", bp.Addr, bp.Ignore, bp.Hits)
+		}
+	case "handle":
+		if len(args) != 2 {
+			s.printf("usage: handle <SIGSEGV|SIGBUS|SIGABRT|SIGFPE> <stop|nostop>\n")
+			return false
+		}
+		sig, ok := map[string]vm.Signal{
+			"SIGSEGV": vm.SIGSEGV, "SIGBUS": vm.SIGBUS,
+			"SIGABRT": vm.SIGABRT, "SIGFPE": vm.SIGFPE,
+		}[strings.ToUpper(args[0])]
+		if !ok {
+			s.printf("unknown signal %q\n", args[0])
+			return false
+		}
+		s.d.Handle(sig, debug.Disposition{Stop: args[1] == "stop", Pass: args[1] != "stop"})
+		s.printf("handle %v %s\n", sig, args[1])
+	case "run", "r":
+		s.reportStop(s.d.Run(s.budget))
+	case "continue", "c":
+		s.reportStop(s.d.Continue(s.budget))
+	case "step", "s":
+		n := 1
+		if len(args) > 0 {
+			n, _ = strconv.Atoi(args[0])
+		}
+		for i := 0; i < n; i++ {
+			if stop := s.d.StepInstr(); stop != nil {
+				s.reportStop(stop)
+				return false
+			}
+		}
+		in, _ := s.prog.InstrAt(s.m.PC)
+		s.printf("pc=0x%x: %v\n", s.m.PC, in)
+	case "regs":
+		for i := 0; i < isa.NumIntRegs; i++ {
+			s.printf("%-3s %#018x  ", isa.IntRegName(isa.Reg(i)), s.m.X[i])
+			if i%4 == 3 {
+				s.printf("\n")
+			}
+		}
+		for i := 0; i < isa.NumFloatRegs; i++ {
+			s.printf("%-3s %-18.10g ", isa.FloatRegName(isa.Reg(i)), s.m.F[i])
+			if i%4 == 3 {
+				s.printf("\n")
+			}
+		}
+	case "x":
+		if len(args) < 1 {
+			s.printf("x wants an address\n")
+			return false
+		}
+		addr, err := s.resolveAddr(args[0])
+		if err != nil {
+			s.printf("%v\n", err)
+			return false
+		}
+		n := 1
+		if len(args) > 1 {
+			n, _ = strconv.Atoi(args[1])
+		}
+		for i := 0; i < n; i++ {
+			a := addr + uint64(8*i)
+			v, err := s.m.Mem.Read8(a)
+			if err != nil {
+				s.printf("0x%x: %v\n", a, err)
+				return false
+			}
+			f, _ := s.m.Mem.ReadFloat(a)
+			s.printf("0x%x: %#018x  (%g)\n", a, v, f)
+		}
+	case "disas":
+		start := s.m.PC
+		count := 8
+		if len(args) > 0 {
+			sym, ok := s.prog.Symbol(args[0])
+			if !ok || sym.Kind != isa.SymFunc {
+				s.printf("no function %q\n", args[0])
+				return false
+			}
+			start = sym.Addr
+			count = int(sym.Size / isa.InstrBytes)
+		}
+		for i := 0; i < count; i++ {
+			a := start + uint64(i*isa.InstrBytes)
+			in, ok := s.prog.InstrAt(a)
+			if !ok {
+				break
+			}
+			marker := "  "
+			if a == s.m.PC {
+				marker = "=>"
+			}
+			s.printf("%s 0x%06x  %v\n", marker, a, in)
+		}
+	case "set":
+		if len(args) != 2 {
+			s.printf("usage: set <reg> <value>\n")
+			return false
+		}
+		if r, ok := isa.IntRegByName(args[0]); ok {
+			v, err := strconv.ParseInt(args[1], 0, 64)
+			if err != nil {
+				s.printf("bad value %q\n", args[1])
+				return false
+			}
+			s.d.SetIntReg(r, uint64(v))
+			return false
+		}
+		if r, ok := isa.FloatRegByName(args[0]); ok {
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				s.printf("bad value %q\n", args[1])
+				return false
+			}
+			s.d.SetFloatReg(r, v)
+			return false
+		}
+		s.printf("unknown register %q\n", args[0])
+	case "pc":
+		if len(args) == 0 {
+			in, _ := s.prog.InstrAt(s.m.PC)
+			s.printf("pc=0x%x: %v\n", s.m.PC, in)
+			return false
+		}
+		addr, err := s.resolveAddr(args[0])
+		if err != nil {
+			s.printf("%v\n", err)
+			return false
+		}
+		s.d.SetPC(addr)
+	case "letgo":
+		// Manual LetGo-B: advance the PC past the faulting instruction of
+		// the current signal stop.
+		if s.lastStop == nil || s.lastStop.Reason != debug.StopSignal {
+			s.printf("not stopped on a signal\n")
+			return false
+		}
+		next, ok := s.an.NextPC(s.m.PC)
+		if !ok {
+			s.printf("no next instruction to advance to\n")
+			return false
+		}
+		in, _ := s.prog.InstrAt(s.m.PC)
+		s.d.SetPC(next)
+		s.printf("elided %v (%v); pc advanced to 0x%x\n", s.lastStop.Signal, in, next)
+		s.lastStop = nil
+	default:
+		s.printf("unknown command %q (try help)\n", cmd)
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/lang"
+)
+
+const dbgSrc = `
+	var g [8] float;
+	var out float;
+	func main() {
+		var i int;
+		for (i = 0; i < 8; i = i + 1) {
+			g[i] = float(i) * 1.5;
+		}
+		out = g[2] + g[999999999];
+		out = out + 1.0;
+	}
+`
+
+func newTestSession(t *testing.T) (*session, *strings.Builder) {
+	t.Helper()
+	prog, err := lang.Compile(dbgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	s, err := newSession(prog, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &out
+}
+
+func run(t *testing.T, s *session, out *strings.Builder, cmds ...string) string {
+	t.Helper()
+	out.Reset()
+	for _, c := range cmds {
+		if quit := s.exec(c); quit {
+			t.Fatalf("command %q quit the session", c)
+		}
+	}
+	return out.String()
+}
+
+func TestRunToCrashAndManualLetGo(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "handle SIGSEGV stop", "run")
+	if !strings.Contains(got, "stopped on SIGSEGV") {
+		t.Fatalf("output: %s", got)
+	}
+	got = run(t, s, out, "letgo", "continue")
+	if !strings.Contains(got, "elided SIGSEGV") || !strings.Contains(got, "halted normally") {
+		t.Fatalf("output: %s", got)
+	}
+}
+
+func TestDefaultDispositionTerminates(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "run")
+	if !strings.Contains(got, "terminated by SIGSEGV") {
+		t.Fatalf("output: %s", got)
+	}
+}
+
+func TestBreakpointAndStep(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "break main", "run")
+	if !strings.Contains(got, "breakpoint at") {
+		t.Fatalf("output: %s", got)
+	}
+	got = run(t, s, out, "step 3", "info break")
+	if !strings.Contains(got, "pc=0x") || !strings.Contains(got, "hits=1") {
+		t.Fatalf("output: %s", got)
+	}
+}
+
+func TestRegsAndMemoryExamine(t *testing.T) {
+	s, out := newTestSession(t)
+	run(t, s, out, "handle SIGSEGV stop", "run")
+	got := run(t, s, out, "regs")
+	if !strings.Contains(got, "sp ") || !strings.Contains(got, "f0 ") {
+		t.Fatalf("regs output: %s", got)
+	}
+	got = run(t, s, out, "x g 3")
+	if !strings.Contains(got, "(1.5)") {
+		t.Fatalf("memory output: %s", got)
+	}
+}
+
+func TestDisasAndSetAndPC(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "disas main")
+	if !strings.Contains(got, "push bp") {
+		t.Fatalf("disas output: %s", got)
+	}
+	got = run(t, s, out, "set x3 42", "set f1 2.5", "regs")
+	if !strings.Contains(got, "002a") || !strings.Contains(got, "2.5") {
+		t.Fatalf("set/regs output: %s", got)
+	}
+	got = run(t, s, out, "pc")
+	if !strings.Contains(got, "pc=0x") {
+		t.Fatalf("pc output: %s", got)
+	}
+}
+
+func TestErrorsAreReportedNotFatal(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out,
+		"break nowhere",
+		"x 0x2 1",
+		"handle SIGWHAT stop",
+		"set q9 1",
+		"letgo",
+		"frobnicate",
+	)
+	for _, want := range []string{"cannot resolve", "unknown signal", "unknown register", "not stopped on a signal", "unknown command"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestQuit(t *testing.T) {
+	s, _ := newTestSession(t)
+	if !s.exec("quit") {
+		t.Error("quit did not quit")
+	}
+	if s.exec("") {
+		t.Error("empty line quit")
+	}
+}
+
+func TestHelpListsCommands(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "help")
+	for _, want := range []string{"break", "handle", "letgo", "disas"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// letgo-inject runs fault-injection campaigns against the benchmark apps
+// and prints Table-3-style outcome distributions and Figure-5-style metric
+// comparisons.
+//
+// Usage:
+//
+//	letgo-inject -apps iterative -n 2000 -mode E        # Table 3
+//	letgo-inject -apps LULESH,SNAP -n 2000 -compare     # Figure 5 (B vs E)
+//	letgo-inject -apps hpl -n 2000 -mode E              # Section 8
+//	letgo-inject -apps all -format json                 # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+	"github.com/letgo-hpc/letgo/internal/report"
+)
+
+func main() {
+	appSel := flag.String("apps", "iterative", "comma-separated app names, 'iterative', 'all', 'hpl' or 'extensions'")
+	n := flag.Int("n", 1000, "injections per app per mode")
+	mode := flag.String("mode", "E", "LetGo mode for the campaign: off, B, E")
+	compare := flag.Bool("compare", false, "run both LetGo-B and LetGo-E and print the four metrics (Figure 5)")
+	seed := flag.Uint64("seed", 2017, "campaign seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	formatFlag := flag.String("format", "text", "output format: text, markdown, csv or json")
+	flag.Parse()
+
+	format, err := report.ParseFormat(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	sel, err := selectApps(*appSel)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		runCompare(sel, *n, *seed, *workers)
+		return
+	}
+	if format != report.Text {
+		rows := make([]report.CampaignRow, 0, len(sel))
+		for _, a := range sel {
+			r := mustRun(&inject.Campaign{App: a, Mode: modeFromFlag(*mode), N: *n, Seed: *seed, Workers: *workers})
+			rows = append(rows, report.Row(r))
+		}
+		if err := report.Campaigns(os.Stdout, format, rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	runTable(sel, modeFromFlag(*mode), *n, *seed, *workers)
+}
+
+func modeFromFlag(mode string) inject.Mode {
+	switch strings.ToUpper(mode) {
+	case "OFF":
+		return inject.NoLetGo
+	case "B":
+		return inject.LetGoB
+	case "E":
+		return inject.LetGoE
+	}
+	fatal(fmt.Errorf("unknown mode %q", mode))
+	return inject.LetGoE
+}
+
+func selectApps(sel string) ([]*apps.App, error) {
+	switch strings.ToLower(sel) {
+	case "iterative":
+		return apps.Iterative(), nil
+	case "all":
+		return apps.All(), nil
+	case "hpl":
+		a, _ := apps.ByName("HPL")
+		return []*apps.App{a}, nil
+	case "extensions", "amg":
+		return apps.Extensions(), nil
+	}
+	var out []*apps.App
+	for _, name := range strings.Split(sel, ",") {
+		a, ok := apps.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runTable prints the Table-3 layout: outcome fractions normalized by the
+// total number of injections.
+func runTable(sel []*apps.App, mode inject.Mode, n int, seed uint64, workers int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Benchmark\tDetected\tBenign\tSDC\tDoubleCrash\tC-Detected\tC-Benign\tC-SDC\tHang\tCrashRate\tContinuability\tMedianCrashLatency\n")
+	var agg outcome.Counts
+	for _, a := range sel {
+		r := mustRun(&inject.Campaign{App: a, Mode: mode, N: n, Seed: seed, Workers: workers})
+		agg.Merge(r.Counts)
+		row(w, a.Name, &r.Counts, r.Metrics, fmt.Sprintf("%d", r.MedianCrashLatency()))
+	}
+	if len(sel) > 1 {
+		row(w, "AVERAGE", &agg, outcome.ComputeMetrics(&agg), "-")
+	}
+	w.Flush()
+}
+
+func row(w *tabwriter.Writer, name string, c *outcome.Counts, m outcome.Metrics, latency string) {
+	pct := func(cl outcome.Class) string { return fmt.Sprintf("%.2f%%", 100*c.Frac(cl)) }
+	crash := float64(c.CrashTotal()) / float64(c.N)
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.2f%%\t%.2f%%\t%s\n",
+		name, pct(outcome.Detected), pct(outcome.Benign), pct(outcome.SDC),
+		pct(outcome.DoubleCrash), pct(outcome.CDetected), pct(outcome.CBenign),
+		pct(outcome.CSDC), pct(outcome.Hang), 100*crash, 100*m.Continuability, latency)
+}
+
+// runCompare prints the Figure-5 layout: the four Section-5.3 metrics for
+// LetGo-B and LetGo-E side by side.
+func runCompare(sel []*apps.App, n int, seed uint64, workers int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Benchmark\tMode\tContinuability\tContinued_detected\tContinued_correct\tContinued_SDC\n")
+	for _, a := range sel {
+		for _, mode := range []inject.Mode{inject.LetGoB, inject.LetGoE} {
+			r := mustRun(&inject.Campaign{App: a, Mode: mode, N: n, Seed: seed, Workers: workers})
+			m := r.Metrics
+			fmt.Fprintf(w, "%s\t%v\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				a.Name, mode, m.Continuability, m.ContinuedDetected, m.ContinuedCorrect, m.ContinuedSDC)
+		}
+	}
+	w.Flush()
+}
+
+func mustRun(c *inject.Campaign) *inject.Result {
+	r, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "letgo-inject:", err)
+	os.Exit(1)
+}

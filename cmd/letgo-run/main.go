@@ -1,0 +1,136 @@
+// letgo-run executes a program on the simulated machine, optionally under
+// LetGo supervision, and reports the outcome.
+//
+// The input is a benchmark name (-app), a MiniC source file (.mc), an
+// assembly file (.s) or a compiled object (.lgo).
+//
+// Usage:
+//
+//	letgo-run -app LULESH -mode E
+//	letgo-run -mode B prog.mc
+//	letgo-run -mode off prog.lgo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/lang"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/trace"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+func main() {
+	appName := flag.String("app", "", "run a built-in benchmark app (LULESH, CLAMR, HPL, COMD, SNAP, PENNANT)")
+	mode := flag.String("mode", "E", "LetGo mode: off, B (basic), E (enhanced)")
+	budget := flag.Uint64("budget", 1<<28, "instruction budget before declaring a hang")
+	events := flag.Bool("events", false, "print the LetGo repair event log")
+	traceN := flag.Int("trace", 0, "keep an N-instruction history and print a crash report on faults (mode off only)")
+	flag.Parse()
+
+	prog, app, err := loadProgram(*appName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := vm.New(prog, vm.Config{Out: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+
+	if strings.EqualFold(*mode, "off") {
+		var ring *trace.Ring
+		var err error
+		if *traceN > 0 {
+			ring = trace.NewRing(*traceN)
+			err = trace.RunTraced(m, ring, *budget)
+		} else {
+			err = m.Run(*budget)
+		}
+		switch {
+		case err == nil:
+			fmt.Println("outcome: completed")
+		case err == vm.ErrBudget:
+			fmt.Println("outcome: hang (budget exhausted)")
+		default:
+			fmt.Printf("outcome: crashed (%v)\n", err)
+			if trap, ok := err.(*vm.Trap); ok && ring != nil {
+				trace.CrashReport(os.Stdout, m, trap, ring)
+			}
+		}
+		report(app, m)
+		return
+	}
+
+	opts := core.Options{Mode: core.ModeEnhanced}
+	if strings.EqualFold(*mode, "B") {
+		opts.Mode = core.ModeBasic
+	}
+	runner := core.Attach(m, pin.Analyze(prog), opts)
+	res := runner.Run(*budget)
+	fmt.Printf("outcome: %v  signal: %v  crashes elided: %d  retired: %d\n",
+		res.Outcome, res.Signal, res.Repairs, res.Retired)
+	if *events {
+		fmt.Print(trace.FormatEvents(res.Events))
+	}
+	report(app, m)
+}
+
+// loadProgram resolves the input program from -app or a file argument.
+func loadProgram(appName string, args []string) (*isa.Program, *apps.App, error) {
+	if appName != "" {
+		a, ok := apps.ByName(appName)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown app %q", appName)
+		}
+		p, err := a.Compile()
+		return p, a, err
+	}
+	if len(args) != 1 {
+		return nil, nil, fmt.Errorf("usage: letgo-run [-app NAME | file.{mc,s,lgo}]")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case strings.HasSuffix(args[0], ".mc"):
+		p, err := lang.Compile(string(data))
+		return p, nil, err
+	case strings.HasSuffix(args[0], ".s"):
+		p, err := asm.Assemble(string(data))
+		return p, nil, err
+	default:
+		var p isa.Program
+		if err := p.UnmarshalBinary(data); err != nil {
+			return nil, nil, err
+		}
+		return &p, nil, nil
+	}
+}
+
+// report runs the app's acceptance check when a benchmark was requested
+// and the machine finished.
+func report(app *apps.App, m *vm.Machine) {
+	if app == nil || !m.Halted {
+		return
+	}
+	ok, err := app.Accept(m)
+	if err != nil {
+		fmt.Printf("acceptance check: error: %v\n", err)
+		return
+	}
+	fmt.Printf("acceptance check (%s): passed=%v\n", app.Name, ok)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "letgo-run:", err)
+	os.Exit(1)
+}

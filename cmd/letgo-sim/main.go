@@ -1,0 +1,148 @@
+// letgo-sim runs the Section-7 checkpoint/restart simulation and prints
+// the Figure-7 and Figure-8 series (efficiency with and without LetGo).
+//
+// By default the model is seeded with the probabilities derived from the
+// paper's own Table 3 (-seed-source paper); -seed-source measured runs a
+// fresh fault-injection campaign first and uses its probabilities.
+//
+// Usage:
+//
+//	letgo-sim -fig 7 -app LULESH
+//	letgo-sim -fig 8 -app CLAMR -tchk 1200
+//	letgo-sim -app SNAP -tchk 120 -sync 0.5 -mtbfaults 21600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	letgo "github.com/letgo-hpc/letgo"
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/checkpoint"
+	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/report"
+	"github.com/letgo-hpc/letgo/internal/stats"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate a paper figure: 7 or 8 (0 = single configuration)")
+	appName := flag.String("app", "LULESH", "benchmark app")
+	tchk := flag.Float64("tchk", 120, "checkpoint cost, seconds (Figure 8 / single run)")
+	sync := flag.Float64("sync", 0.10, "synchronization overhead as a fraction of tchk")
+	mtbFaults := flag.Float64("mtbfaults", 21600, "mean time between faults, seconds")
+	seedSource := flag.String("seed-source", "paper", "probability source: paper (Table 3) or measured (run a campaign)")
+	n := flag.Int("n", 1000, "injections for -seed-source measured")
+	seed := flag.Uint64("seed", 2017, "simulation seed")
+	horizon := flag.Float64("horizon", checkpoint.DefaultHorizon, "simulated seconds")
+	advise := flag.Bool("advise", false, "print the operator recommendation (use LetGo or not) for this configuration")
+	formatFlag := flag.String("format", "text", "figure output format: text, markdown, csv or json")
+	flag.Parse()
+
+	format, err := report.ParseFormat(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	probs, err := resolveProbabilities(*seedSource, *appName, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if format == report.Text {
+		fmt.Printf("# %s: P_crash=%.3f P_v=%.3f P_v'=%.3f P_letgo=%.3f (%s)\n",
+			probs.Name, probs.PCrash, probs.PV, probs.PVPrime, probs.PLetGo, *seedSource)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if *advise {
+		params := checkpoint.ParamsFor(probs, *tchk, *sync, *mtbFaults)
+		a, err := checkpoint.Advise(params, checkpoint.AdviseConfig{ContinuedSDC: probs.ContinuedSDC, Seed: *seed, Horizon: *horizon})
+		if err != nil {
+			fatal(err)
+		}
+		verdict := "do NOT enable LetGo"
+		if a.UseLetGo {
+			verdict = "enable LetGo"
+		}
+		fmt.Fprintf(w, "recommendation\t%s\n", verdict)
+		fmt.Fprintf(w, "reason\t%s\n", a.Reason)
+		fmt.Fprintf(w, "efficiency\tstandard %.4f, letgo %.4f (gain %+.4f)\n", a.EffStandard, a.EffLetGo, a.Gain)
+		return
+	}
+
+	switch *fig {
+	case 7:
+		pts, err := checkpoint.SweepCheckpointCost(probs, []float64{12, 120, 1200}, *sync, *mtbFaults, *seed, *horizon)
+		if err != nil {
+			fatal(err)
+		}
+		if format != report.Text {
+			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "tchk", pts)); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Fprintf(w, "T_chk\tEff(standard)\tEff(LetGo)\tGain\n")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%+.4f\n", p.X, p.Standard, p.LetGo, p.Gain())
+		}
+	case 8:
+		pts, err := checkpoint.SweepScale(probs, *tchk, *sync, []int{100_000, 200_000, 400_000}, *seed, *horizon)
+		if err != nil {
+			fatal(err)
+		}
+		if format != report.Text {
+			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "nodes", pts)); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Fprintf(w, "Nodes\tEff(standard)\tEff(LetGo)\tGain\n")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%+.4f\n", p.X, p.Standard, p.LetGo, p.Gain())
+		}
+	case 0:
+		params := checkpoint.ParamsFor(probs, *tchk, *sync, *mtbFaults)
+		std, lg, err := checkpoint.Compare(params, stats.NewRNG(*seed), *horizon)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "Arm\tEfficiency\tCheckpoints\tRollbacks\tCrashes\tElided\n")
+		fmt.Fprintf(w, "standard\t%.4f\t%d\t%d\t%d\t-\n",
+			std.Efficiency(), std.Checkpoints, std.Rollbacks, std.Crashes)
+		fmt.Fprintf(w, "letgo\t%.4f\t%d\t%d\t%d\t%d\n",
+			lg.Efficiency(), lg.Checkpoints, lg.Rollbacks, lg.Crashes, lg.Elided)
+	default:
+		fatal(fmt.Errorf("unknown figure %d (want 7 or 8)", *fig))
+	}
+}
+
+func resolveProbabilities(source, appName string, n int, seed uint64) (checkpoint.AppProbabilities, error) {
+	switch source {
+	case "paper":
+		p, ok := checkpoint.PaperAppByName(appName)
+		if !ok {
+			return checkpoint.AppProbabilities{}, fmt.Errorf("no paper probabilities for %q", appName)
+		}
+		return p, nil
+	case "measured":
+		a, ok := apps.ByName(appName)
+		if !ok {
+			return checkpoint.AppProbabilities{}, fmt.Errorf("unknown app %q", appName)
+		}
+		r, err := (&inject.Campaign{App: a, Mode: inject.LetGoE, N: n, Seed: seed}).Run()
+		if err != nil {
+			return checkpoint.AppProbabilities{}, err
+		}
+		return letgo.ProbabilitiesFromCampaign(r)
+	}
+	return checkpoint.AppProbabilities{}, fmt.Errorf("unknown seed source %q", source)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "letgo-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Checkpointing study: evaluate the end-to-end impact of LetGo on a
+// long-running application under coordinated checkpoint/restart — the
+// paper's Section-7 pipeline. The model is seeded either with the paper's
+// Table-3 probabilities or with probabilities measured by a fresh
+// fault-injection campaign on the bundled benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	letgo "github.com/letgo-hpc/letgo"
+)
+
+func main() {
+	appName := flag.String("app", "CLAMR", "benchmark app")
+	measured := flag.Bool("measured", false, "derive probabilities from a fresh campaign instead of the paper's Table 3")
+	flag.Parse()
+
+	var probs letgo.AppProbabilities
+	if *measured {
+		app, ok := letgo.AppByName(*appName)
+		if !ok {
+			log.Fatalf("unknown app %q", *appName)
+		}
+		fmt.Println("running a 600-injection LetGo-E campaign to estimate probabilities...")
+		r, err := (&letgo.Campaign{App: app, Mode: letgo.LetGoE, N: 600, Seed: 7}).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if probs, err = letgo.ProbabilitiesFromCampaign(r); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var ok bool
+		if probs, ok = letgo.PaperAppByName(*appName); !ok {
+			log.Fatalf("no paper probabilities for %q", *appName)
+		}
+	}
+	fmt.Printf("%s: P_crash=%.3f P_v=%.3f P_v'=%.3f continuability=%.3f\n\n",
+		probs.Name, probs.PCrash, probs.PV, probs.PVPrime, probs.PLetGo)
+
+	// Figure-7 sweep: checkpoint cost from burst-buffer-class (12 s) to
+	// under-provisioned (1200 s) systems.
+	fmt.Println("Figure 7 — efficiency vs checkpoint cost (MTBFaults = 6 h, sync 10%):")
+	pts, err := letgo.Figure7(probs, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  T_chk=%5.0fs  standard %.4f  letgo %.4f  gain %+.4f\n",
+			p.X, p.Standard, p.LetGo, p.Gain())
+	}
+
+	// Figure-8 sweep: scaling the machine shrinks the MTBF.
+	fmt.Println("\nFigure 8 — efficiency vs system scale (T_chk = 1200 s):")
+	pts, err = letgo.Figure8(probs, 1200, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  %6.0f nodes  standard %.4f  letgo %.4f  gain %+.4f\n",
+			p.X, p.Standard, p.LetGo, p.Gain())
+	}
+}

@@ -1,0 +1,116 @@
+// Custom app: author a new workload in MiniC, give it an application-level
+// acceptance check, and measure how well LetGo protects it — the workflow
+// a user follows to evaluate LetGo for their own application.
+//
+// The workload is a conjugate-gradient-flavoured iterative solver for a
+// tridiagonal system; its acceptance check verifies the residual norm,
+// exactly the kind of numeric-tolerance check the paper's Section 3
+// describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	letgo "github.com/letgo-hpc/letgo"
+)
+
+const solverSrc = `
+	var n int = 96;
+	var x [96] float;
+	var b [96] float;
+	var r [96] float;
+	var iters int;
+	var residual float;
+
+	// Jacobi-style relaxation for A x = b with A = tridiag(-1, 4, -1):
+	// strongly diagonally dominant, so the iteration contracts fast.
+	func main() {
+		var i int;
+		var k int;
+		for (i = 0; i < n; i = i + 1) {
+			b[i] = 1.0 + 0.5 * float(i % 7);
+		}
+		for (k = 0; k < 60; k = k + 1) {
+			for (i = 0; i < n; i = i + 1) {
+				var left float;
+				var right float;
+				if (i > 0) { left = x[i - 1]; } else { left = 0.0; }
+				if (i < n - 1) { right = x[i + 1]; } else { right = 0.0; }
+				r[i] = (b[i] + left + right) / 4.0;
+			}
+			for (i = 0; i < n; i = i + 1) {
+				x[i] = r[i];
+			}
+			iters = iters + 1;
+		}
+		residual = 0.0;
+		for (i = 0; i < n; i = i + 1) {
+			var left float;
+			var right float;
+			if (i > 0) { left = x[i - 1]; } else { left = 0.0; }
+			if (i < n - 1) { right = x[i + 1]; } else { right = 0.0; }
+			var ri float;
+			ri = b[i] - (4.0 * x[i] - left - right);
+			residual = residual + ri * ri;
+		}
+		residual = sqrt(residual);
+	}
+`
+
+func main() {
+	app := &letgo.App{
+		Name:      "TRISOLVE",
+		Domain:    "Sparse iterative solver",
+		Source:    solverSrc,
+		Iterative: true,
+		Tolerance: 1e-8,
+		Accept: func(m *letgo.Machine) (bool, error) {
+			iters, err := m.ReadGlobalInt("iters", 0)
+			if err != nil {
+				return false, err
+			}
+			if iters != 60 {
+				return false, nil
+			}
+			res, err := m.ReadGlobalFloat("residual", 0)
+			if err != nil {
+				return false, err
+			}
+			return res >= 0 && res < 1e-6, nil
+		},
+		Output: func(m *letgo.Machine) ([]float64, error) {
+			return m.ReadGlobalFloats("x", 96)
+		},
+	}
+
+	// Golden sanity run through the public API.
+	m, err := app.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(1 << 26); err != nil {
+		log.Fatal(err)
+	}
+	ok, err := app.Accept(m)
+	if err != nil || !ok {
+		log.Fatalf("golden run rejected: ok=%v err=%v", ok, err)
+	}
+	res, _ := m.ReadGlobalFloat("residual", 0)
+	fmt.Printf("golden run: %d instructions, residual %.3g\n", m.Retired, res)
+
+	// Campaign with and without LetGo-E.
+	for _, mode := range []letgo.InjectionMode{letgo.NoLetGo, letgo.LetGoE} {
+		r, err := (&letgo.Campaign{App: app, Mode: mode, N: 300, Seed: 99}).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v: crash rate %.1f%%\n", mode, 100*r.PCrash)
+		if mode == letgo.LetGoE {
+			fmt.Printf("  continuability      %.1f%%\n", 100*r.Metrics.Continuability)
+			fmt.Printf("  continued correct   %.1f%%\n", 100*r.Metrics.ContinuedCorrect)
+			fmt.Printf("  continued detected  %.1f%%\n", 100*r.Metrics.ContinuedDetected)
+			fmt.Printf("  continued SDC       %.1f%%\n", 100*r.Metrics.ContinuedSDC)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: compile a small MiniC program, corrupt one of its pointers
+// mid-run via the public fault-injection API, and watch LetGo elide the
+// resulting segmentation fault so the run completes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	letgo "github.com/letgo-hpc/letgo"
+)
+
+const src = `
+	var table [64] float;
+	var sum float;
+	func main() {
+		var i int;
+		for (i = 0; i < 64; i = i + 1) {
+			table[i] = sqrt(float(i));
+		}
+		// A read through a wildly out-of-range index: the address falls
+		// outside every mapped segment and raises SIGSEGV.
+		sum = table[3] + table[80000000];
+		for (i = 0; i < 64; i = i + 1) {
+			sum = sum + table[i];
+		}
+	}
+`
+
+func main() {
+	prog, err := letgo.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First, without LetGo: the crash-causing signal terminates the run.
+	bare, _, err := letgo.Run(prog, letgo.Options{Signals: []letgo.Signal{}}, 1<<24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without LetGo: %v (signal %v)\n", bare.Outcome, bare.Signal)
+
+	// Now under LetGo-E: the monitor intercepts SIGSEGV, the modifier
+	// advances the PC past the faulting load and Heuristic I feeds the
+	// destination register with 0.
+	res, m, err := letgo.Run(prog, letgo.Options{Mode: letgo.ModeEnhanced}, 1<<24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with LetGo-E:  %v, crashes elided: %d\n", res.Outcome, res.Repairs)
+	for _, ev := range res.Events {
+		fmt.Printf("  repaired %v at pc=0x%x (%v)\n", ev.Signal, ev.PC, ev.Instr)
+	}
+
+	sum, err := m.ReadGlobalFloat("sum", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final sum = %.6f (the elided load contributed 0)\n", sum)
+}

@@ -1,0 +1,41 @@
+package letgo
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end — the examples
+// are deliverables, not decoration, so they must keep working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the toolchain")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"./examples/quickstart", nil, []string{"with LetGo-E:  completed", "repaired SIGSEGV"}},
+		{"./examples/faultcampaign", []string{"-app", "SNAP", "-n", "60"}, []string{"SNAP under none", "crash rate"}},
+		{"./examples/checkpointing", []string{"-app", "CLAMR"}, []string{"Figure 7", "gain +"}},
+		{"./examples/customapp", nil, []string{"golden run:", "continuability"}},
+		{"./examples/clusterjob", []string{"-jobs", "3", "-ranks", "2"}, []string{"standard C/R", "C/R + LetGo-E", "crashes elided"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", append([]string{"run", c.dir}, c.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/letgo-hpc/letgo
+
+go 1.22

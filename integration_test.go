@@ -1,0 +1,163 @@
+package letgo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/cluster"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+)
+
+// TestEndToEndAllApps is the cross-module integration test: every
+// benchmark app goes through compile -> golden run -> small campaigns in
+// all three modes -> metric sanity -> C/R model seeding. It exercises the
+// same pipeline as the paper's full evaluation, scaled down.
+func TestEndToEndAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n = 80
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			var results [3]*CampaignResult
+			for i, mode := range []InjectionMode{NoLetGo, LetGoB, LetGoE} {
+				r, err := (&Campaign{App: app, Mode: mode, N: n, Seed: 77}).Run()
+				if err != nil {
+					t.Fatalf("%v campaign: %v", mode, err)
+				}
+				if r.Counts.N != n {
+					t.Fatalf("%v campaign incomplete", mode)
+				}
+				results[i] = r
+			}
+			none, bas, enh := results[0], results[1], results[2]
+
+			// Fault sampling is mode-independent: identical seeds give
+			// identical crash-branch sizes.
+			if none.Counts.CrashTotal() != bas.Counts.CrashTotal() ||
+				none.Counts.CrashTotal() != enh.Counts.CrashTotal() {
+				t.Errorf("crash totals differ across modes: %d/%d/%d",
+					none.Counts.CrashTotal(), bas.Counts.CrashTotal(), enh.Counts.CrashTotal())
+			}
+			// Without LetGo every crash stays a crash.
+			if none.Counts.By[Crash] != none.Counts.CrashTotal() {
+				t.Error("baseline campaign has continued outcomes")
+			}
+			// With LetGo-E a nontrivial fraction of crashes continues.
+			if enh.Metrics.Continuability == 0 && enh.Counts.CrashTotal() > 5 {
+				t.Error("LetGo-E elided nothing")
+			}
+			// Finished-branch outcomes (Benign/SDC/Detected as fractions
+			// of non-crash faults) are identical across modes: LetGo only
+			// acts on crashes.
+			for _, cl := range []OutcomeClass{Benign, SDC, Detected} {
+				if none.Counts.By[cl] != enh.Counts.By[cl] {
+					t.Errorf("%v differs between baseline and LetGo-E", cl)
+				}
+			}
+			// Derived C/R probabilities must be sane.
+			probs, err := ProbabilitiesFromCampaign(enh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, v := range map[string]float64{
+				"PCrash": probs.PCrash, "PV": probs.PV,
+				"PVPrime": probs.PVPrime, "PLetGo": probs.PLetGo,
+			} {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Errorf("%s = %v", name, v)
+				}
+			}
+		})
+	}
+}
+
+// TestModelVsHarness cross-validates the analytic Section-7 model against
+// the executed cluster harness: with equivalent parameters, both must
+// agree that (a) efficiency is below 1, (b) LetGo improves it.
+func TestModelVsHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	app, _ := AppByName("SNAP")
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var effStd, effLG float64
+	for seed := uint64(0); seed < 6; seed++ {
+		cfg := cluster.Config{
+			Prog:                    prog,
+			Ranks:                   2,
+			CheckpointInterval:      60_000,
+			CheckpointCost:          3_000,
+			RecoveryCost:            3_000,
+			MeanInstrsBetweenFaults: 80_000,
+			Seed:                    seed,
+			MaxCost:                 1 << 28,
+		}
+		std, err := cluster.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.UseLetGo = true
+		lg, err := cluster.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		effStd += std.Efficiency()
+		effLG += lg.Efficiency()
+	}
+	effStd /= 6
+	effLG /= 6
+	t.Logf("harness: standard %.4f, letgo %.4f", effStd, effLG)
+	if effStd <= 0 || effStd >= 1 || effLG <= 0 || effLG >= 1 {
+		t.Fatalf("harness efficiencies out of range: %v %v", effStd, effLG)
+	}
+	if effLG < effStd {
+		t.Errorf("harness: LetGo did not improve efficiency (%.4f < %.4f)", effLG, effStd)
+	}
+
+	// The analytic model with the paper's probabilities must agree on the
+	// direction.
+	probs, _ := PaperAppByName("SNAP")
+	params := CRParamsFor(probs, 120, 0.10, 21600)
+	std, err := SimulateStandard(params, NewRNG(1), 5e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := SimulateLetGo(params, NewRNG(2), 5e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Efficiency() <= std.Efficiency() {
+		t.Errorf("model: LetGo did not improve efficiency")
+	}
+}
+
+// TestOutcomeTaxonomyAcrossModes checks Figure-4 bookkeeping invariants
+// over a real campaign: classes partition the runs, and the crash branch
+// matches PCrash.
+func TestOutcomeTaxonomyAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	app, _ := AppByName("CLAMR")
+	r, err := (&Campaign{App: app, Mode: LetGoE, N: 150, Seed: 5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for cl := outcome.Class(0); cl < outcome.NumClasses; cl++ {
+		sum += r.Counts.By[cl]
+	}
+	if sum != r.Counts.N {
+		t.Errorf("classes do not partition runs: %d vs %d", sum, r.Counts.N)
+	}
+	if got := float64(r.Counts.CrashTotal()) / float64(r.Counts.N); math.Abs(got-r.PCrash) > 1e-12 {
+		t.Errorf("PCrash inconsistent: %v vs %v", got, r.PCrash)
+	}
+}

@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// AMG analog: a geometric-multigrid V-cycle solver for the 1-D Poisson
+// problem -u” = f. The paper's first founding observation cites Casas et
+// al.: the algebraic multi-grid solver "always masks errors if it is not
+// terminated by a crash" — this extension app exists to reproduce that
+// observation directly (see TestAMGIntrinsicResilience).
+//
+// Three grid levels (fine 64, mid 32, coarse 16), weighted-Jacobi
+// smoothing, full-weighting restriction, linear interpolation — and,
+// crucially, convergence-based termination: V-cycles repeat until the
+// fine-grid residual drops six orders of magnitude (or a cycle cap).
+// A mid-run perturbation therefore costs extra cycles, not correctness —
+// the masking mechanism the paper describes ("numerical errors introduced
+// by a hardware fault can be eliminated during this convergence process,
+// although it may take longer").
+const (
+	amgN         = 64
+	amgMaxCycles = 48
+)
+
+var amgSource = fmt.Sprintf(`
+// AMG analog: 3-level multigrid V-cycles for -u'' = f on [0,1].
+var n0 int = %d;         // fine grid points (interior: 1..n0-1)
+var u0 [%d] float;
+var f0 [%d] float;
+var r0 [%d] float;
+var u1 [%d] float;       // mid grid (n0/2)
+var f1 [%d] float;
+var r1 [%d] float;
+var u2 [%d] float;       // coarse grid (n0/4)
+var f2 [%d] float;
+var cp2 [%d] float;      // Thomas-solver scratch
+var dp2 [%d] float;
+var cycles int;
+var residual float;
+var converged int;
+var diag [%d] float;
+
+// Weighted-Jacobi smoothing sweeps on the fine grid: the h^2-scaled
+// 3-point Laplacian with omega = 2/3.
+func smooth0(sweeps int) {
+	var s int;
+	var i int;
+	var h2 float;
+	h2 = 1.0 / float(n0 * n0);
+	for (s = 0; s < sweeps; s = s + 1) {
+		for (i = 1; i < n0 - 1; i = i + 1) {
+			var upd float;
+			upd = 0.5 * (u0[i - 1] + u0[i + 1] + h2 * f0[i]);
+			u0[i] = u0[i] + 0.666666666 * (upd - u0[i]);
+		}
+	}
+}
+
+func smooth1(sweeps int) {
+	var s int;
+	var i int;
+	var n1 int;
+	var h2 float;
+	n1 = n0 / 2;
+	h2 = 4.0 / float(n0 * n0);
+	for (s = 0; s < sweeps; s = s + 1) {
+		for (i = 1; i < n1 - 1; i = i + 1) {
+			var upd float;
+			upd = 0.5 * (u1[i - 1] + u1[i + 1] + h2 * f1[i]);
+			u1[i] = u1[i] + 0.666666666 * (upd - u1[i]);
+		}
+	}
+}
+
+// solve2 solves the coarse-grid system -e'' = f2 exactly with the Thomas
+// algorithm (tridiagonal LU): the coarsest level of a multigrid hierarchy
+// is solved directly.
+func solve2() {
+	var i int;
+	var n2 int;
+	var h2 float;
+	n2 = n0 / 4;
+	h2 = 16.0 / float(n0 * n0);
+	cp2[1] = -0.5;
+	dp2[1] = h2 * f2[1] / 2.0;
+	for (i = 2; i < n2 - 1; i = i + 1) {
+		var m float;
+		m = 2.0 + cp2[i - 1];
+		cp2[i] = -1.0 / m;
+		dp2[i] = (h2 * f2[i] + dp2[i - 1]) / m;
+	}
+	u2[n2 - 2] = dp2[n2 - 2];
+	for (i = n2 - 3; i >= 1; i = i - 1) {
+		u2[i] = dp2[i] - cp2[i] * u2[i + 1];
+	}
+}
+
+// residual0 computes r0 = f0 + u0'' on the fine grid and returns its
+// squared norm.
+func residual0() float {
+	var i int;
+	var h2inv float;
+	var acc float;
+	h2inv = float(n0 * n0);
+	acc = 0.0;
+	for (i = 1; i < n0 - 1; i = i + 1) {
+		r0[i] = f0[i] + (u0[i - 1] - 2.0 * u0[i] + u0[i + 1]) * h2inv;
+		acc = acc + r0[i] * r0[i];
+	}
+	return acc;
+}
+
+func main() {
+	var i int;
+	var c int;
+	var n1 int;
+	var n2 int;
+	n1 = n0 / 2;
+	n2 = n0 / 4;
+
+	// Smooth right-hand side: f = sin-like bump via a parabola product.
+	for (i = 1; i < n0 - 1; i = i + 1) {
+		var x float;
+		x = float(i) / float(n0);
+		f0[i] = 100.0 * x * (1.0 - x);
+	}
+
+	// Reference residual for the relative convergence test.
+	var rtarget float;
+	rtarget = 0.0;
+	for (i = 1; i < n0 - 1; i = i + 1) {
+		rtarget = rtarget + f0[i] * f0[i];
+	}
+	rtarget = rtarget * 1.0e-12;   // (1e-6 relative, squared norms)
+
+	c = 0;
+	var done int;
+	done = 0;
+	while (done == 0 && c < %d) {
+		// Pre-smooth, compute fine residual.
+		smooth0(3);
+		var rn float;
+		rn = residual0();
+		diag[c] = rn;
+		if (rn < rtarget) {
+			converged = 1;
+			done = 1;
+		}
+
+		// Restrict residual to the mid grid (full weighting).
+		for (i = 1; i < n1 - 1; i = i + 1) {
+			f1[i] = 0.25 * (r0[2 * i - 1] + 2.0 * r0[2 * i] + r0[2 * i + 1]);
+			u1[i] = 0.0;
+		}
+		u1[0] = 0.0;
+		u1[n1 - 1] = 0.0;
+		smooth1(3);
+
+		// Mid residual -> coarse grid.
+		var h2inv1 float;
+		h2inv1 = float(n0 * n0) / 4.0;
+		for (i = 1; i < n1 - 1; i = i + 1) {
+			r1[i] = f1[i] + (u1[i - 1] - 2.0 * u1[i] + u1[i + 1]) * h2inv1;
+		}
+		for (i = 1; i < n2 - 1; i = i + 1) {
+			f2[i] = 0.25 * (r1[2 * i - 1] + 2.0 * r1[2 * i] + r1[2 * i + 1]);
+			u2[i] = 0.0;
+		}
+		u2[0] = 0.0;
+		u2[n2 - 1] = 0.0;
+		solve2();
+
+		// Prolong coarse correction to mid, post-smooth.
+		for (i = 1; i < n2 - 1; i = i + 1) {
+			u1[2 * i] = u1[2 * i] + u2[i];
+		}
+		for (i = 0; i < n2 - 1; i = i + 1) {
+			u1[2 * i + 1] = u1[2 * i + 1] + 0.5 * (u2[i] + u2[i + 1]);
+		}
+		smooth1(3);
+
+		// Prolong mid correction to fine, post-smooth.
+		for (i = 1; i < n1 - 1; i = i + 1) {
+			u0[2 * i] = u0[2 * i] + u1[i];
+		}
+		for (i = 0; i < n1 - 1; i = i + 1) {
+			u0[2 * i + 1] = u0[2 * i + 1] + 0.5 * (u1[i] + u1[i + 1]);
+		}
+		smooth0(3);
+		cycles = cycles + 1;
+		c = c + 1;
+	}
+
+	residual = sqrt(residual0());
+}
+`, amgN, amgN, amgN, amgN, amgN/2, amgN/2, amgN/2, amgN/4, amgN/4, amgN/4, amgN/4, amgMaxCycles, amgMaxCycles)
+
+// AMG is the extension app (not part of the paper's Table-2 suite).
+var AMG = &App{
+	Name:      "AMG",
+	Domain:    "Algebraic multigrid (extension)",
+	Source:    amgSource,
+	Iterative: true,
+	Tolerance: 1e-6,
+	Accept: func(m *vm.Machine) (bool, error) {
+		conv, err := readInt(m, "converged")
+		if err != nil {
+			return false, err
+		}
+		if conv != 1 {
+			return false, nil
+		}
+		res, err := readFloat(m, "residual")
+		if err != nil {
+			return false, err
+		}
+		return res >= 0 && res < 1e-3, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		return readFloats(m, "u0", amgN)
+	},
+}
+
+// Extensions lists workloads beyond the paper's Table-2 suite.
+func Extensions() []*App { return []*App{AMG} }

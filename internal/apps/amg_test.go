@@ -1,0 +1,73 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestAMGGoldenRun(t *testing.T) {
+	m := goldenRun(t, AMG)
+	ok, err := AMG.Accept(m)
+	if err != nil || !ok {
+		res, _ := readFloat(m, "residual")
+		t.Fatalf("AMG golden run rejected: ok=%v err=%v residual=%v", ok, err, res)
+	}
+	res, _ := readFloat(m, "residual")
+	t.Logf("AMG: %d dynamic instructions, final residual %.3g", m.Retired, res)
+	// V-cycles must actually converge: the per-cycle residual log is
+	// monotically decreasing by a healthy factor.
+	cycles, err := m.ReadGlobalInt("cycles", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AMG converged in %d V-cycles", cycles)
+	if cycles < 5 || cycles >= 48 {
+		t.Errorf("cycles = %d, want convergence well inside the cap", cycles)
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	ext := Extensions()
+	if len(ext) != 1 || ext[0].Name != "AMG" {
+		t.Fatalf("extensions = %+v", ext)
+	}
+	// Extensions stay out of the Table-2 registry.
+	if _, ok := ByName("AMG"); ok {
+		t.Error("AMG leaked into the paper suite registry")
+	}
+}
+
+func TestAMGIntrinsicResilience(t *testing.T) {
+	// The paper's founding observation 1 (via Casas et al.): AMG "always
+	// masks errors if it is not terminated by a crash". Verify directly:
+	// perturb the fine-grid solution state mid-run and confirm the
+	// remaining V-cycles absorb the perturbation to an accepted result.
+	m, err := AMG.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run roughly half the golden instruction count.
+	if err := m.Run(450_000); err != nil && err.Error() != "vm: instruction budget exhausted" {
+		t.Fatal(err)
+	}
+	// Corrupt three interior solution values badly.
+	sym, ok := m.Prog.Symbol("u0")
+	if !ok {
+		t.Fatal("u0 missing")
+	}
+	for _, idx := range []uint64{10, 31, 50} {
+		if err := m.Mem.WriteFloat(sym.Addr+8*idx, 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(1 << 28); err != nil {
+		t.Fatalf("perturbed run did not finish: %v", err)
+	}
+	pass, err := AMG.Accept(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		res, _ := readFloat(m, "residual")
+		t.Errorf("AMG did not mask a mid-run state perturbation (residual %v)", res)
+	}
+}

@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// CLAMR analog: cell-based shallow-water kernel on an n x n mesh with a
+// staggered height/velocity update and reflective walls. The height update
+// is in conservative (flux-difference) form, so total mass is conserved to
+// roundoff — exactly the invariant CLAMR's built-in acceptance check
+// monitors ("threshold for the mass change per iteration", Table 2).
+// Velocities carry a mild damping factor so perturbations decay, matching
+// the convergent behaviour of the original AMR code.
+const (
+	clamrN     = 10
+	clamrSteps = 25
+)
+
+var clamrSource = fmt.Sprintf(`
+// CLAMR analog: conservative shallow water with per-iteration mass audit.
+var n int = %d;
+var steps int = %d;
+var h [%d] float;
+var u [%d] float;   // edge velocity (i,j)->(i,j+1); zero on the last column
+var v [%d] float;   // edge velocity (i,j)->(i+1,j); zero on the last row
+var initial_mass float;
+var final_mass float;
+var max_mass_change float;
+var iters int;
+var diag [%d] float;
+var diagmax [%d] float;
+var crit [%d] float;   // AMR refinement criterion |grad h| per cell
+var refine_count int;
+
+func at(i int, j int) int {
+	return i * n + j;
+}
+
+func mass() float {
+	var c int;
+	var acc float;
+	for (c = 0; c < n * n; c = c + 1) {
+		acc = acc + h[c];
+	}
+	return acc;
+}
+
+func main() {
+	var i int;
+	var j int;
+	var c int;
+	var s int;
+	var dt float;
+	dt = 0.05;
+
+	// Still water with a raised block in the middle.
+	for (c = 0; c < n * n; c = c + 1) {
+		h[c] = 1.0;
+	}
+	h[4 * n + 4] = 2.0;
+	h[4 * n + 5] = 2.0;
+	h[5 * n + 4] = 2.0;
+	h[5 * n + 5] = 2.0;
+
+	initial_mass = mass();
+	var prev float;
+	prev = initial_mass;
+
+	for (s = 0; s < steps; s = s + 1) {
+		// Velocity update from the height gradient, with damping.
+		for (i = 0; i < n; i = i + 1) {
+			for (j = 0; j < n - 1; j = j + 1) {
+				c = at(i, j);
+				u[c] = 0.95 * u[c] - dt * (h[c + 1] - h[c]);
+			}
+		}
+		for (i = 0; i < n - 1; i = i + 1) {
+			for (j = 0; j < n; j = j + 1) {
+				c = at(i, j);
+				v[c] = 0.95 * v[c] - dt * (h[c + n] - h[c]);
+			}
+		}
+		// Conservative height update: flux differences; walls have zero
+		// normal velocity, so the domain is closed.
+		for (i = 0; i < n; i = i + 1) {
+			for (j = 0; j < n; j = j + 1) {
+				c = at(i, j);
+				var ul float;
+				var vt float;
+				if (j > 0) { ul = u[c - 1]; } else { ul = 0.0; }
+				if (i > 0) { vt = v[c - n]; } else { vt = 0.0; }
+				var ur float;
+				var vb float;
+				if (j < n - 1) { ur = u[c]; } else { ur = 0.0; }
+				if (i < n - 1) { vb = v[c]; } else { vb = 0.0; }
+				h[c] = h[c] - dt * (ur - ul + vb - vt);
+			}
+		}
+		// Per-iteration mass audit (the CLAMR acceptance signal).
+		var cur float;
+		cur = mass();
+		var d float;
+		d = fabs(cur - prev);
+		if (d > max_mass_change) { max_mass_change = d; }
+		prev = cur;
+		// AMR refinement pass: compute the gradient-magnitude criterion
+		// for every cell and count cells above threshold. The real CLAMR
+		// uses this to refine the mesh; here the counters feed reporting
+		// only (the mesh resolution is fixed).
+		for (i = 0; i < n; i = i + 1) {
+			for (j = 0; j < n; j = j + 1) {
+				c = at(i, j);
+				var gx float;
+				var gy float;
+				if (j < n - 1) { gx = h[c + 1] - h[c]; } else { gx = 0.0; }
+				if (i < n - 1) { gy = h[c + n] - h[c]; } else { gy = 0.0; }
+				crit[c] = fabs(gx) + fabs(gy);
+				if (crit[c] > 0.02) {
+					refine_count = refine_count + 1;
+				}
+			}
+		}
+		// Diagnostics: kinetic-energy-like norm and surface maximum,
+		// logged per step, never read back.
+		var acc float;
+		var mx float;
+		acc = 0.0;
+		mx = 0.0;
+		for (c = 0; c < n * n; c = c + 1) {
+			acc = acc + u[c] * u[c] + v[c] * v[c];
+			if (h[c] > mx) { mx = h[c]; }
+		}
+		diag[s] = acc;
+		diagmax[s] = mx;
+		iters = iters + 1;
+	}
+	final_mass = mass();
+}
+`, clamrN, clamrSteps, clamrN*clamrN, clamrN*clamrN, clamrN*clamrN, clamrSteps, clamrSteps, clamrN*clamrN)
+
+var clamrApp = &App{
+	Name:      "CLAMR",
+	Domain:    "Adaptive mesh refinement",
+	Source:    clamrSource,
+	Iterative: true,
+	Tolerance: 1e-6,
+	Accept: func(m *vm.Machine) (bool, error) {
+		iters, err := readInt(m, "iters")
+		if err != nil {
+			return false, err
+		}
+		if iters != clamrSteps {
+			return false, nil
+		}
+		change, err := readFloat(m, "max_mass_change")
+		if err != nil {
+			return false, err
+		}
+		if !(change < 1e-6) {
+			return false, nil
+		}
+		mi, err := readFloat(m, "initial_mass")
+		if err != nil {
+			return false, err
+		}
+		mf, err := readFloat(m, "final_mass")
+		if err != nil {
+			return false, err
+		}
+		want := float64(clamrN*clamrN) + 4.0
+		if !(math.Abs(mi-want) < 1e-6) {
+			return false, nil
+		}
+		if !(math.Abs(mf-mi) < 1e-6) {
+			return false, nil
+		}
+		// Physical validity: water heights stay positive and bounded
+		// (the real code aborts on negative or blown-up cells).
+		h, err := readFloats(m, "h", clamrN*clamrN)
+		if err != nil {
+			return false, err
+		}
+		for _, v := range h {
+			if !(v > 0 && v < 10) {
+				return false, nil
+			}
+		}
+		return true, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		return readFloats(m, "h", clamrN*clamrN)
+	},
+}

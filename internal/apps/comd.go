@@ -1,0 +1,182 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// COMD analog: classical molecular dynamics — a 2-D Lennard-Jones system
+// integrated with velocity Verlet. Newton's third law is applied exactly
+// pairwise, so momentum is conserved identically and total energy is
+// conserved to O(dt^2), which is what the CoMD verification section checks
+// ("energy conservation", Table 2).
+const (
+	comdN     = 16
+	comdSteps = 20
+)
+
+var comdSource = fmt.Sprintf(`
+// COMD analog: 2-D Lennard-Jones molecular dynamics, velocity Verlet.
+var npart int = %d;
+var px [%d] float;
+var py [%d] float;
+var vx [%d] float;
+var vy [%d] float;
+var fx [%d] float;
+var fy [%d] float;
+var pot float;
+var e0 float;
+var efinal float;
+var steps_done int;
+var diag [%d] float;
+var diagmax [%d] float;
+
+func forces() {
+	var i int;
+	var j int;
+	pot = 0.0;
+	for (i = 0; i < npart; i = i + 1) {
+		fx[i] = 0.0;
+		fy[i] = 0.0;
+	}
+	for (i = 0; i < npart; i = i + 1) {
+		for (j = i + 1; j < npart; j = j + 1) {
+			var dx float;
+			var dy float;
+			dx = px[i] - px[j];
+			dy = py[i] - py[j];
+			var r2 float;
+			r2 = dx * dx + dy * dy;
+			if (r2 < 6.25) {      // cutoff 2.5 sigma
+				var s2 float;
+				var s6 float;
+				s2 = 1.0 / r2;
+				s6 = s2 * s2 * s2;
+				var f float;
+				f = 24.0 * s2 * s6 * (2.0 * s6 - 1.0);
+				fx[i] = fx[i] + f * dx;
+				fy[i] = fy[i] + f * dy;
+				fx[j] = fx[j] - f * dx;
+				fy[j] = fy[j] - f * dy;
+				pot = pot + 4.0 * s6 * (s6 - 1.0);
+			}
+		}
+	}
+}
+
+func energy() float {
+	var i int;
+	var ke float;
+	ke = 0.0;
+	for (i = 0; i < npart; i = i + 1) {
+		ke = ke + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i]);
+	}
+	return pot + ke;
+}
+
+func main() {
+	var i int;
+	var s int;
+	var dt float;
+	dt = 0.002;
+
+	// 4x4 lattice with deterministic jitter.
+	for (i = 0; i < npart; i = i + 1) {
+		px[i] = float(i %% 4) * 1.2 + 0.01 * float(i);
+		py[i] = float(i / 4) * 1.2 + 0.013 * float((i * 7) %% npart);
+	}
+
+	forces();
+	e0 = energy();
+
+	for (s = 0; s < %d; s = s + 1) {
+		for (i = 0; i < npart; i = i + 1) {
+			vx[i] = vx[i] + 0.5 * dt * fx[i];
+			vy[i] = vy[i] + 0.5 * dt * fy[i];
+			px[i] = px[i] + dt * vx[i];
+			py[i] = py[i] + dt * vy[i];
+		}
+		forces();
+		for (i = 0; i < npart; i = i + 1) {
+			vx[i] = vx[i] + 0.5 * dt * fx[i];
+			vy[i] = vy[i] + 0.5 * dt * fy[i];
+		}
+		// Per-step diagnostics: velocity norm and max force magnitude,
+		// logged for reporting only.
+		var acc float;
+		var mx float;
+		acc = 0.0;
+		mx = 0.0;
+		for (i = 0; i < npart; i = i + 1) {
+			acc = acc + vx[i] * vx[i] + vy[i] * vy[i];
+			var fm float;
+			fm = fabs(fx[i]) + fabs(fy[i]);
+			if (fm > mx) { mx = fm; }
+		}
+		diag[s] = acc;
+		diagmax[s] = mx;
+		steps_done = steps_done + 1;
+	}
+	efinal = energy();
+}
+`, comdN, comdN, comdN, comdN, comdN, comdN, comdN, comdSteps, comdSteps, comdSteps)
+
+var comdApp = &App{
+	Name:      "COMD",
+	Domain:    "Classical molecular dynamics",
+	Source:    comdSource,
+	Iterative: true,
+	Tolerance: 5e-7,
+	Accept: func(m *vm.Machine) (bool, error) {
+		steps, err := readInt(m, "steps_done")
+		if err != nil {
+			return false, err
+		}
+		if steps != comdSteps {
+			return false, nil
+		}
+		e0, err := readFloat(m, "e0")
+		if err != nil {
+			return false, err
+		}
+		ef, err := readFloat(m, "efinal")
+		if err != nil {
+			return false, err
+		}
+		if math.IsNaN(e0) || math.IsNaN(ef) || e0 == 0 {
+			return false, nil
+		}
+		if math.Abs(ef-e0) > 1e-6*math.Abs(e0) {
+			return false, nil
+		}
+		// Total momentum must stay (numerically) zero: forces are applied
+		// in equal and opposite pairs and the system starts at rest.
+		vx, err := readFloats(m, "vx", comdN)
+		if err != nil {
+			return false, err
+		}
+		vy, err := readFloats(m, "vy", comdN)
+		if err != nil {
+			return false, err
+		}
+		var sx, sy float64
+		for i := range vx {
+			sx += vx[i]
+			sy += vy[i]
+		}
+		return math.Abs(sx) < 1e-9 && math.Abs(sy) < 1e-9, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		var out []float64
+		for _, name := range []string{"px", "py", "vx", "vy"} {
+			vs, err := readFloats(m, name, comdN)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
+		}
+		return out, nil
+	},
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// HPL analog: dense LU factorization with partial pivoting followed by
+// triangular solves — a *direct* method, unlike the other five apps, which
+// is why the paper discusses it separately (Section 8). The acceptance
+// check is HPL's own: the norm-wise backward-error residual
+//
+//	||A x - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n) < 16
+const (
+	hplN         = 24
+	hplThreshold = 16.0
+)
+
+var hplSource = fmt.Sprintf(`
+// HPL analog: LU with partial pivoting + residual check.
+var n int = %d;
+var A  [%d] float;
+var A0 [%d] float;
+var b  [%d] float;
+var b0 [%d] float;
+var x  [%d] float;
+var piv [%d] int;
+var seed int = 12345;
+var resid float;
+var done int;
+
+func rnd() float {
+	seed = (seed * 1103515245 + 12345) %% 2147483648;
+	return float(seed) / 2147483648.0 - 0.5;
+}
+
+func main() {
+	var i int;
+	var j int;
+	var k int;
+
+	// Deterministic pseudo-random system.
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) {
+			A[i * n + j] = rnd();
+			A0[i * n + j] = A[i * n + j];
+		}
+		b[i] = rnd();
+		b0[i] = b[i];
+	}
+
+	// LU factorization with partial pivoting; b is eliminated in step.
+	for (k = 0; k < n; k = k + 1) {
+		var p int;
+		var maxv float;
+		p = k;
+		maxv = fabs(A[k * n + k]);
+		for (i = k + 1; i < n; i = i + 1) {
+			var av float;
+			av = fabs(A[i * n + k]);
+			if (av > maxv) { maxv = av; p = i; }
+		}
+		piv[k] = p;
+		if (p != k) {
+			for (j = 0; j < n; j = j + 1) {
+				var t float;
+				t = A[k * n + j];
+				A[k * n + j] = A[p * n + j];
+				A[p * n + j] = t;
+			}
+			var tb float;
+			tb = b[k];
+			b[k] = b[p];
+			b[p] = tb;
+		}
+		for (i = k + 1; i < n; i = i + 1) {
+			A[i * n + k] = A[i * n + k] / A[k * n + k];
+			var factor float;
+			factor = A[i * n + k];
+			for (j = k + 1; j < n; j = j + 1) {
+				A[i * n + j] = A[i * n + j] - factor * A[k * n + j];
+			}
+			b[i] = b[i] - factor * b[k];
+		}
+	}
+
+	// Back substitution.
+	for (i = n - 1; i >= 0; i = i - 1) {
+		var s float;
+		s = b[i];
+		for (j = i + 1; j < n; j = j + 1) {
+			s = s - A[i * n + j] * x[j];
+		}
+		x[i] = s / A[i * n + i];
+	}
+
+	// HPL residual: norm-wise backward error.
+	var rnorm float;
+	var anorm float;
+	var xnorm float;
+	var bnorm float;
+	for (i = 0; i < n; i = i + 1) {
+		var r float;
+		r = b0[i];
+		for (j = 0; j < n; j = j + 1) {
+			r = r - A0[i * n + j] * x[j];
+		}
+		r = fabs(r);
+		if (r > rnorm) { rnorm = r; }
+
+		var rowsum float;
+		for (j = 0; j < n; j = j + 1) {
+			rowsum = rowsum + fabs(A0[i * n + j]);
+		}
+		if (rowsum > anorm) { anorm = rowsum; }
+
+		var ax float;
+		ax = fabs(x[i]);
+		if (ax > xnorm) { xnorm = ax; }
+		var ab float;
+		ab = fabs(b0[i]);
+		if (ab > bnorm) { bnorm = ab; }
+	}
+	var eps float;
+	eps = 2.220446049250313e-16;
+	resid = rnorm / (eps * (anorm * xnorm + bnorm) * float(n));
+	done = 1;
+}
+`, hplN, hplN*hplN, hplN*hplN, hplN, hplN, hplN, hplN)
+
+var hplApp = &App{
+	Name:      "HPL",
+	Domain:    "Dense linear solver",
+	Source:    hplSource,
+	Iterative: false,
+	Tolerance: 0, // direct method: bit-wise golden comparison
+	Accept: func(m *vm.Machine) (bool, error) {
+		done, err := readInt(m, "done")
+		if err != nil {
+			return false, err
+		}
+		if done != 1 {
+			return false, nil
+		}
+		resid, err := readFloat(m, "resid")
+		if err != nil {
+			return false, err
+		}
+		return resid >= 0 && resid < hplThreshold, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		return readFloats(m, "x", hplN)
+	},
+}

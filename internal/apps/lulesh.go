@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// LULESH analog: explicit shock-hydrodynamics kernel reduced to a
+// conservative energy-diffusion update on an n x n quadrant mesh with a
+// point deposit at the origin (Sedov-style initial condition). The update
+// is reflective at the boundary (zero flux), so total energy is conserved
+// to roundoff, and it is symmetric under (i,j) transposition, so the mesh
+// stays symmetric about the diagonal.
+//
+// Acceptance check (paper Table 2): number of iterations exactly as
+// configured, final origin energy correct to at least 6 digits (against a
+// reference computation), and measures of symmetry below 1e-8.
+const (
+	luleshN     = 12
+	luleshSteps = 30
+	luleshE0    = 1000.0
+)
+
+// LULESHSource renders the LULESH analog's MiniC source for an arbitrary
+// mesh edge and step count (the paper's Section 6.2 scales LULESH across
+// three input sizes to show the monitor overhead is size-independent).
+func LULESHSource(n, steps int) string {
+	return fmt.Sprintf(luleshTemplate, n, steps, n*n, n*n, steps, steps, luleshE0)
+}
+
+const luleshTemplate = `
+// LULESH analog: Sedov-style energy diffusion on a quadrant mesh.
+var n int = %d;
+var steps int = %d;
+var e [%d] float;
+var enew [%d] float;
+var iters int;
+var origin_energy float;
+var total_energy float;
+var symmetry float;
+var diag [%d] float;
+var diagmax [%d] float;
+
+func main() {
+	var i int;
+	var j int;
+	var s int;
+	var c int;
+
+	e[0] = %.1f;    // point deposit at the origin
+
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			for (j = 0; j < n; j = j + 1) {
+				c = i * n + j;
+				var up float;
+				var dn float;
+				var lf float;
+				var rt float;
+				if (i > 0) { up = e[c - n]; } else { up = e[c]; }
+				if (i < n - 1) { dn = e[c + n]; } else { dn = e[c]; }
+				if (j > 0) { lf = e[c - 1]; } else { lf = e[c]; }
+				if (j < n - 1) { rt = e[c + 1]; } else { rt = e[c]; }
+				enew[c] = e[c] + 0.1 * (up + dn + lf + rt - 4.0 * e[c]);
+			}
+		}
+		for (c = 0; c < n * n; c = c + 1) {
+			e[c] = enew[c];
+		}
+		// Per-step diagnostics: norms that are reported but never fed
+		// back into the computation (dead for verification purposes).
+		var acc float;
+		var mx float;
+		acc = 0.0;
+		mx = 0.0;
+		for (c = 0; c < n * n; c = c + 1) {
+			acc = acc + e[c] * e[c];
+			if (e[c] > mx) { mx = e[c]; }
+		}
+		diag[s] = acc;
+		diagmax[s] = mx;
+		iters = iters + 1;
+	}
+
+	total_energy = 0.0;
+	for (c = 0; c < n * n; c = c + 1) {
+		total_energy = total_energy + e[c];
+	}
+	origin_energy = e[0];
+	symmetry = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) {
+			var d float;
+			d = fabs(e[i * n + j] - e[j * n + i]);
+			if (d > symmetry) { symmetry = d; }
+		}
+	}
+}
+`
+
+var luleshSource = LULESHSource(luleshN, luleshSteps)
+
+// luleshReferenceOrigin replays the same scheme in Go with the same
+// floating-point evaluation order, giving the "known correct" origin
+// energy the acceptance check compares against to 6 digits.
+func luleshReferenceOrigin() float64 {
+	n := luleshN
+	e := make([]float64, n*n)
+	enew := make([]float64, n*n)
+	e[0] = luleshE0
+	for s := 0; s < luleshSteps; s++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				c := i*n + j
+				up, dn, lf, rt := e[c], e[c], e[c], e[c]
+				if i > 0 {
+					up = e[c-n]
+				}
+				if i < n-1 {
+					dn = e[c+n]
+				}
+				if j > 0 {
+					lf = e[c-1]
+				}
+				if j < n-1 {
+					rt = e[c+1]
+				}
+				enew[c] = e[c] + 0.1*(up+dn+lf+rt-4.0*e[c])
+			}
+		}
+		copy(e, enew)
+	}
+	return e[0]
+}
+
+var luleshOriginRef = luleshReferenceOrigin()
+
+var luleshApp = &App{
+	Name:      "LULESH",
+	Domain:    "Hydrodynamics",
+	Source:    luleshSource,
+	Iterative: true,
+	Tolerance: 5e-9,
+	Accept: func(m *vm.Machine) (bool, error) {
+		iters, err := readInt(m, "iters")
+		if err != nil {
+			return false, err
+		}
+		if iters != luleshSteps {
+			return false, nil
+		}
+		sym, err := readFloat(m, "symmetry")
+		if err != nil {
+			return false, err
+		}
+		if !(sym < 1e-8) { // NaN fails too
+			return false, nil
+		}
+		origin, err := readFloat(m, "origin_energy")
+		if err != nil {
+			return false, err
+		}
+		// Table 2 lists exactly three criteria for LULESH: iteration count,
+		// origin energy to >= 6 digits, and symmetry; total_energy stays a
+		// diagnostic global but is not part of the acceptance check.
+		return math.Abs(origin-luleshOriginRef) <= 1e-6*math.Abs(luleshOriginRef), nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		return readFloats(m, "e", luleshN*luleshN)
+	},
+}

@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// PENNANT analog: staggered-grid Lagrangian hydrodynamics on a 1-D mesh
+// (a Sod shock tube): zone-centered density/energy/pressure, node-centered
+// positions/velocities, with artificial viscosity. The acceptance check is
+// PENNANT's: conservation of total (internal + kinetic) energy (Table 2).
+const (
+	pennantNZ    = 48
+	pennantSteps = 50
+)
+
+var pennantSource = fmt.Sprintf(`
+// PENNANT analog: 1-D Lagrangian hydro (Sod problem) on a staggered mesh.
+var nz int = %d;
+var x  [%d] float;   // node positions (nz+1)
+var un [%d] float;   // node velocities (nz+1)
+var uold [%d] float; // node velocities at the previous half step
+var zm [%d] float;   // zone mass
+var zr [%d] float;   // zone density
+var ze [%d] float;   // zone specific internal energy
+var zp [%d] float;   // zone pressure
+var zq [%d] float;   // zone artificial viscosity
+var e0 float;
+var efinal float;
+var steps_done int;
+var diag [%d] float;
+var diagmax [%d] float;
+
+func zvol(i int) float {
+	return x[i + 1] - x[i];
+}
+
+func nodemass(i int) float {
+	return 0.5 * (zm[i - 1] + zm[i]);
+}
+
+func total_energy() float {
+	var i int;
+	var acc float;
+	acc = 0.0;
+	for (i = 0; i < nz; i = i + 1) {
+		acc = acc + zm[i] * ze[i];
+	}
+	// Nodal kinetic energy with half-mass contributions at the walls.
+	for (i = 1; i < nz; i = i + 1) {
+		acc = acc + 0.25 * (zm[i - 1] + zm[i]) * un[i] * un[i];
+	}
+	acc = acc + 0.25 * zm[0] * un[0] * un[0];
+	acc = acc + 0.25 * zm[nz - 1] * un[nz] * un[nz];
+	return acc;
+}
+
+func main() {
+	var i int;
+	var s int;
+	var dt float;
+	var gm1 float;   // gamma - 1
+	dt = 0.002;
+	gm1 = 0.4;
+
+	// Sod initial condition: high-pressure left half, low-pressure right half.
+	for (i = 0; i <= nz; i = i + 1) {
+		x[i] = float(i) / float(nz);
+	}
+	for (i = 0; i < nz; i = i + 1) {
+		var rho float;
+		var prs float;
+		if (i < nz / 2) { rho = 1.0; prs = 1.0; } else { rho = 0.125; prs = 0.1; }
+		zr[i] = rho;
+		ze[i] = prs / (gm1 * rho);
+		zm[i] = rho * (x[i + 1] - x[i]);
+	}
+
+	e0 = total_energy();
+
+	for (s = 0; s < %d; s = s + 1) {
+		// Zone EOS + artificial viscosity.
+		for (i = 0; i < nz; i = i + 1) {
+			var vol float;
+			vol = zvol(i);
+			zr[i] = zm[i] / vol;
+			zp[i] = gm1 * zr[i] * ze[i];
+			var du float;
+			du = un[i + 1] - un[i];
+			if (du < 0.0) {
+				zq[i] = 2.0 * zr[i] * du * du;
+			} else {
+				zq[i] = 0.0;
+			}
+		}
+		// Node acceleration from pressure gradient (walls pinned).
+		for (i = 0; i <= nz; i = i + 1) {
+			uold[i] = un[i];
+		}
+		for (i = 1; i < nz; i = i + 1) {
+			var a float;
+			a = zp[i] + zq[i] - zp[i - 1] - zq[i - 1];
+			a = -a / nodemass(i);
+			un[i] = un[i] + dt * a;
+		}
+		// Compatible internal-energy update: pdV work computed with
+		// time-centered velocities so that total (kinetic + internal)
+		// energy is conserved to roundoff, as in PENNANT's compatible
+		// hydro formulation.
+		for (i = 0; i < nz; i = i + 1) {
+			var du float;
+			du = 0.5 * (un[i + 1] + uold[i + 1]) - 0.5 * (un[i] + uold[i]);
+			ze[i] = ze[i] - dt * (zp[i] + zq[i]) * du / zm[i];
+		}
+		// Move the mesh.
+		for (i = 0; i <= nz; i = i + 1) {
+			x[i] = x[i] + dt * un[i];
+		}
+		// Per-step diagnostics: velocity norm and peak pressure, logged
+		// for reporting only.
+		var acc float;
+		var mx float;
+		acc = 0.0;
+		mx = 0.0;
+		for (i = 0; i <= nz; i = i + 1) {
+			acc = acc + un[i] * un[i];
+		}
+		for (i = 0; i < nz; i = i + 1) {
+			if (zp[i] > mx) { mx = zp[i]; }
+		}
+		diag[s] = acc;
+		diagmax[s] = mx;
+		steps_done = steps_done + 1;
+	}
+
+	efinal = total_energy();
+}
+`, pennantNZ, pennantNZ+1, pennantNZ+1, pennantNZ+1, pennantNZ, pennantNZ, pennantNZ, pennantNZ, pennantNZ, pennantSteps, pennantSteps, pennantSteps)
+
+var pennantApp = &App{
+	Name:      "PENNANT",
+	Domain:    "Unstructured mesh physics",
+	Source:    pennantSource,
+	Iterative: true,
+	Tolerance: 5e-10,
+	Accept: func(m *vm.Machine) (bool, error) {
+		steps, err := readInt(m, "steps_done")
+		if err != nil {
+			return false, err
+		}
+		if steps != pennantSteps {
+			return false, nil
+		}
+		e0, err := readFloat(m, "e0")
+		if err != nil {
+			return false, err
+		}
+		ef, err := readFloat(m, "efinal")
+		if err != nil {
+			return false, err
+		}
+		if math.IsNaN(e0) || math.IsNaN(ef) || e0 == 0 {
+			return false, nil
+		}
+		if math.Abs(ef-e0) > 1e-9*math.Abs(e0) {
+			return false, nil
+		}
+		// Mesh validity: node positions must stay strictly increasing
+		// (PENNANT aborts on tangled meshes), and the state must stay
+		// physical: positive density and internal energy, bounded
+		// velocities.
+		x, err := readFloats(m, "x", pennantNZ+1)
+		if err != nil {
+			return false, err
+		}
+		for i := 1; i < len(x); i++ {
+			if !(x[i] > x[i-1]) {
+				return false, nil
+			}
+		}
+		zr, err := readFloats(m, "zr", pennantNZ)
+		if err != nil {
+			return false, err
+		}
+		ze, err := readFloats(m, "ze", pennantNZ)
+		if err != nil {
+			return false, err
+		}
+		un, err := readFloats(m, "un", pennantNZ+1)
+		if err != nil {
+			return false, err
+		}
+		for i := 0; i < pennantNZ; i++ {
+			if !(zr[i] > 0 && zr[i] < 100) || !(ze[i] > 0 && ze[i] < 100) {
+				return false, nil
+			}
+		}
+		for _, v := range un {
+			if !(v > -10 && v < 10) {
+				return false, nil
+			}
+		}
+		return true, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		var out []float64
+		x, err := readFloats(m, "x", pennantNZ+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x...)
+		un, err := readFloats(m, "un", pennantNZ+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, un...)
+		ze, err := readFloats(m, "ze", pennantNZ)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, ze...), nil
+	},
+}

@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// SNAP analog: 1-D discrete-ordinates (SN) neutral-particle transport with
+// diamond-difference sweeps in two symmetric directions and source
+// iteration over the scattering term. The problem (symmetric source,
+// vacuum boundaries) has a mirror-symmetric flux solution, and the
+// acceptance check is SNAP's documented one: "the flux solution output
+// should be symmetric" (Table 2). With IEEE arithmetic the fault-free flux
+// is symmetric to the last bit (the two sweeps are mirror images), so the
+// check threshold can be extremely tight.
+const (
+	snapNX    = 80
+	snapIters = 20
+)
+
+var snapSource = fmt.Sprintf(`
+// SNAP analog: 1-D SN transport, diamond difference, source iteration.
+var nx int = %d;
+var phi [%d] float;
+var phinew [%d] float;
+var q [%d] float;
+var iters int;
+var asymmetry float;
+var diag [%d] float;
+var diagmax [%d] float;
+
+func main() {
+	var i int;
+	var it int;
+	var sigt float;
+	var sigs float;
+	var alpha float;  // 2*mu/dx
+	sigt = 1.0;
+	sigs = 0.6;
+	alpha = 2.0 * 0.5773502691896258 / 0.125;
+
+	// Symmetric source in the middle half of the slab.
+	for (i = nx / 4; i < 3 * nx / 4; i = i + 1) {
+		q[i] = 1.0;
+	}
+
+	for (it = 0; it < %d; it = it + 1) {
+		for (i = 0; i < nx; i = i + 1) {
+			phinew[i] = 0.0;
+		}
+		// Sweep left to right (mu > 0), vacuum boundary.
+		var psiin float;
+		psiin = 0.0;
+		for (i = 0; i < nx; i = i + 1) {
+			var src float;
+			src = 0.5 * (q[i] + sigs * phi[i]);
+			var psimid float;
+			psimid = (src + alpha * psiin) / (sigt + alpha);
+			phinew[i] = phinew[i] + psimid;
+			psiin = 2.0 * psimid - psiin;
+		}
+		// Sweep right to left (mu < 0), vacuum boundary.
+		psiin = 0.0;
+		for (i = nx - 1; i >= 0; i = i - 1) {
+			var src float;
+			src = 0.5 * (q[i] + sigs * phi[i]);
+			var psimid float;
+			psimid = (src + alpha * psiin) / (sigt + alpha);
+			phinew[i] = phinew[i] + psimid;
+			psiin = 2.0 * psimid - psiin;
+		}
+		for (i = 0; i < nx; i = i + 1) {
+			phi[i] = phinew[i];
+		}
+		// Per-iteration diagnostics (scalar flux norm and peak), written
+		// to a log array that is not part of the solution.
+		var acc float;
+		var mx float;
+		acc = 0.0;
+		mx = 0.0;
+		for (i = 0; i < nx; i = i + 1) {
+			acc = acc + phi[i] * phi[i];
+			if (phi[i] > mx) { mx = phi[i]; }
+		}
+		diag[it] = acc;
+		diagmax[it] = mx;
+		iters = iters + 1;
+	}
+
+	asymmetry = 0.0;
+	for (i = 0; i < nx; i = i + 1) {
+		var d float;
+		d = fabs(phi[i] - phi[nx - 1 - i]);
+		if (d > asymmetry) { asymmetry = d; }
+	}
+}
+`, snapNX, snapNX, snapNX, snapNX, snapIters, snapIters, snapIters)
+
+var snapApp = &App{
+	Name:      "SNAP",
+	Domain:    "Discrete ordinates transport",
+	Source:    snapSource,
+	Iterative: true,
+	Tolerance: 5e-7,
+	Accept: func(m *vm.Machine) (bool, error) {
+		iters, err := readInt(m, "iters")
+		if err != nil {
+			return false, err
+		}
+		if iters != snapIters {
+			return false, nil
+		}
+		asym, err := readFloat(m, "asymmetry")
+		if err != nil {
+			return false, err
+		}
+		return asym < 1e-6, nil
+	},
+	Output: func(m *vm.Machine) ([]float64, error) {
+		return readFloats(m, "phi", snapNX)
+	},
+}

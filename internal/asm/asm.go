@@ -1,0 +1,481 @@
+// Package asm implements a two-pass assembler for the simulated ISA.
+//
+// Source syntax (one statement per line; ';' or '#' start a comment):
+//
+//	.entry main              ; program entry label
+//	.global buf 4096         ; reserve 4096 zeroed bytes, symbol "buf"
+//	.double pi 3.14 2.71     ; initialized float64 data, symbol "pi"
+//	.int n 100               ; initialized int64 data, symbol "n"
+//
+//	main:                    ; labels without '.' start a function
+//	    push bp
+//	    mov bp, sp
+//	    addi sp, sp, -32
+//	    li x1, buf           ; identifiers in immediates resolve to symbols
+//	    fld f1, [x1+8]
+//	    beq x1, x2, .done    ; labels with '.' are function-local
+//	.done:
+//	    pop bp
+//	    ret
+//
+// The MiniC compiler (internal/lang) emits this syntax, so the assembler
+// doubles as the compiler's backend and as a direct authoring path.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type stmt struct {
+	line   int
+	op     isa.Op
+	args   []string
+	labels []string // labels attached to this statement's address
+}
+
+// Assemble translates assembly source into a loadable program.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		labels:  map[string]uint64{},
+		globals: map[string]isa.Symbol{},
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	return a.link()
+}
+
+type assembler struct {
+	stmts   []stmt
+	labels  map[string]uint64 // code labels -> address
+	globals map[string]isa.Symbol
+	gorder  []string // global symbol names in declaration order
+	data    []isa.DataSpan
+	gtop    uint64 // next free offset in the global segment
+	entry   string
+}
+
+// stripComment removes ';' and '#' comments.
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func (a *assembler) parse(src string) error {
+	var pending []string // labels awaiting the next instruction
+	for lineno, raw := range strings.Split(src, "\n") {
+		n := lineno + 1
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		// Labels, possibly several on one line before an instruction.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:i])
+			if head == "" || strings.ContainsAny(head, " \t,[]") {
+				break // ':' belongs to something else (never in this ISA, but be safe)
+			}
+			pending = append(pending, head)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(n, line); err != nil {
+				return err
+			}
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.TrimSpace(fields[0])
+		op, ok := isa.OpByName(mnemonic)
+		if !ok {
+			return errf(n, "unknown mnemonic %q", mnemonic)
+		}
+		var args []string
+		if len(fields) == 2 {
+			for _, p := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(p))
+			}
+		}
+		a.stmts = append(a.stmts, stmt{line: n, op: op, args: args, labels: pending})
+		pending = nil
+	}
+	if len(pending) > 0 {
+		// Trailing labels point one past the last instruction; attach to a
+		// synthetic trailing HALT so they stay addressable.
+		a.stmts = append(a.stmts, stmt{line: -1, op: isa.HALT, labels: pending})
+	}
+	return nil
+}
+
+func (a *assembler) directive(n int, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return errf(n, ".entry wants one label")
+		}
+		a.entry = fields[1]
+	case ".global":
+		if len(fields) != 3 {
+			return errf(n, ".global wants: name bytes")
+		}
+		size, err := strconv.ParseUint(fields[2], 0, 64)
+		if err != nil || size == 0 {
+			return errf(n, "bad .global size %q", fields[2])
+		}
+		a.addGlobal(n, fields[1], size, nil)
+	case ".double":
+		if len(fields) < 3 {
+			return errf(n, ".double wants: name v1 [v2 ...]")
+		}
+		buf := make([]byte, 0, (len(fields)-2)*8)
+		for _, f := range fields[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return errf(n, "bad float %q", f)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			buf = append(buf, b[:]...)
+		}
+		a.addGlobal(n, fields[1], uint64(len(buf)), buf)
+	case ".int":
+		if len(fields) < 3 {
+			return errf(n, ".int wants: name v1 [v2 ...]")
+		}
+		buf := make([]byte, 0, (len(fields)-2)*8)
+		for _, f := range fields[2:] {
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return errf(n, "bad int %q", f)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			buf = append(buf, b[:]...)
+		}
+		a.addGlobal(n, fields[1], uint64(len(buf)), buf)
+	default:
+		return errf(n, "unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) addGlobal(n int, name string, size uint64, init []byte) {
+	// Align every global to 8 bytes.
+	size = (size + 7) &^ 7
+	addr := isa.GlobalBase + a.gtop
+	a.globals[name] = isa.Symbol{Name: name, Kind: isa.SymGlobal, Addr: addr, Size: size}
+	a.gorder = append(a.gorder, name)
+	a.gtop += size
+	if len(init) > 0 {
+		a.data = append(a.data, isa.DataSpan{Addr: addr, Bytes: init})
+	}
+}
+
+func (a *assembler) link() (*isa.Program, error) {
+	// Pass 1: assign addresses to labels.
+	for i, s := range a.stmts {
+		addr := isa.CodeBase + uint64(i)*isa.InstrBytes
+		for _, l := range s.labels {
+			if _, dup := a.labels[l]; dup {
+				return nil, errf(s.line, "duplicate label %q", l)
+			}
+			if _, dup := a.globals[l]; dup {
+				return nil, errf(s.line, "label %q collides with global", l)
+			}
+			a.labels[l] = addr
+		}
+	}
+
+	p := &isa.Program{Globals: a.gtop, Data: a.data}
+
+	// Pass 2: encode instructions with symbols resolved.
+	for _, s := range a.stmts {
+		in, err := a.encode(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	// Entry.
+	if a.entry == "" {
+		a.entry = "main"
+	}
+	entry, ok := a.labels[a.entry]
+	if !ok {
+		return nil, errf(0, "entry label %q not defined", a.entry)
+	}
+	p.Entry = entry
+
+	// Symbol table: functions are non-local labels; size runs to the next
+	// function label or the code end.
+	type flabel struct {
+		name string
+		addr uint64
+	}
+	var funcs []flabel
+	for name, addr := range a.labels {
+		if !strings.HasPrefix(name, ".") {
+			funcs = append(funcs, flabel{name, addr})
+		}
+	}
+	for i := range funcs {
+		for j := i + 1; j < len(funcs); j++ {
+			if funcs[j].addr < funcs[i].addr {
+				funcs[i], funcs[j] = funcs[j], funcs[i]
+			}
+		}
+	}
+	for i, f := range funcs {
+		end := p.CodeEnd()
+		if i+1 < len(funcs) {
+			end = funcs[i+1].addr
+		}
+		p.Symbols = append(p.Symbols, isa.Symbol{Name: f.name, Kind: isa.SymFunc, Addr: f.addr, Size: end - f.addr})
+	}
+	for _, name := range a.gorder {
+		p.Symbols = append(p.Symbols, a.globals[name])
+	}
+	p.SortSymbols()
+
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolve turns an immediate token into a value: integer literal, float
+// bit-pattern (fli only), code label or global symbol address.
+func (a *assembler) resolve(n int, tok string, float bool) (int64, error) {
+	if float {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return 0, errf(n, "bad float immediate %q", tok)
+		}
+		return int64(math.Float64bits(v)), nil
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return v, nil
+	}
+	if addr, ok := a.labels[tok]; ok {
+		return int64(addr), nil
+	}
+	if g, ok := a.globals[tok]; ok {
+		return int64(g.Addr), nil
+	}
+	return 0, errf(n, "unresolved symbol %q", tok)
+}
+
+func (a *assembler) intReg(n int, tok string) (isa.Reg, error) {
+	r, ok := isa.IntRegByName(tok)
+	if !ok {
+		return 0, errf(n, "bad integer register %q", tok)
+	}
+	return r, nil
+}
+
+func (a *assembler) srcReg(n int, tok string, info isa.Info) (isa.Reg, error) {
+	if info.FloatSrc {
+		r, ok := isa.FloatRegByName(tok)
+		if !ok {
+			return 0, errf(n, "bad float register %q", tok)
+		}
+		return r, nil
+	}
+	return a.intReg(n, tok)
+}
+
+func (a *assembler) destReg(n int, tok string, info isa.Info) (isa.Reg, error) {
+	if info.Dest == isa.DestFloat {
+		r, ok := isa.FloatRegByName(tok)
+		if !ok {
+			return 0, errf(n, "bad float register %q", tok)
+		}
+		return r, nil
+	}
+	return a.intReg(n, tok)
+}
+
+// parseMem splits "[reg+imm]", "[reg-imm]" or "[reg]".
+func (a *assembler) parseMem(n int, tok string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, errf(n, "bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner, "+-")
+	regTok, immTok := inner, ""
+	if sep > 0 {
+		regTok, immTok = inner[:sep], inner[sep:]
+	}
+	r, err := a.intReg(n, strings.TrimSpace(regTok))
+	if err != nil {
+		return 0, 0, err
+	}
+	var imm int64
+	if immTok != "" {
+		imm, err = strconv.ParseInt(strings.TrimSpace(immTok), 0, 64)
+		if err != nil {
+			return 0, 0, errf(n, "bad memory offset %q", immTok)
+		}
+	}
+	return r, imm, nil
+}
+
+func (a *assembler) encode(s stmt) (isa.Instruction, error) {
+	info := isa.OpInfo(s.op)
+	in := isa.Instruction{Op: s.op}
+	want := func(k int) error {
+		if len(s.args) != k {
+			return errf(s.line, "%s wants %d operands, got %d", info.Name, k, len(s.args))
+		}
+		return nil
+	}
+	var err error
+	switch info.Fmt {
+	case isa.FmtNone:
+		return in, want(0)
+	case isa.FmtR:
+		if err = want(1); err != nil {
+			return in, err
+		}
+		if info.Dest != isa.DestNone {
+			in.Rd, err = a.destReg(s.line, s.args[0], info)
+		} else {
+			in.Rs1, err = a.srcReg(s.line, s.args[0], info)
+		}
+		return in, err
+	case isa.FmtRR:
+		if err = want(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.destReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		// Conversions cross register files: i2f reads int, f2i reads float.
+		switch s.op {
+		case isa.I2F:
+			in.Rs1, err = a.intReg(s.line, s.args[1])
+		default:
+			in.Rs1, err = a.srcReg(s.line, s.args[1], info)
+		}
+		return in, err
+	case isa.FmtRRR:
+		if err = want(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.destReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.srcReg(s.line, s.args[1], info); err != nil {
+			return in, err
+		}
+		in.Rs2, err = a.srcReg(s.line, s.args[2], info)
+		return in, err
+	case isa.FmtRI:
+		if err = want(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.destReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.resolve(s.line, s.args[1], s.op == isa.FLI)
+		return in, err
+	case isa.FmtRRI:
+		if err = want(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.destReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.intReg(s.line, s.args[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.resolve(s.line, s.args[2], false)
+		return in, err
+	case isa.FmtI:
+		if err = want(1); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.resolve(s.line, s.args[0], false)
+		return in, err
+	case isa.FmtRRB:
+		if err = want(3); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.srcReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = a.srcReg(s.line, s.args[1], info); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.resolve(s.line, s.args[2], false)
+		return in, err
+	case isa.FmtMemLd:
+		if err = want(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.destReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		in.Rs1, in.Imm, err = a.parseMem(s.line, s.args[1])
+		return in, err
+	case isa.FmtMemSt:
+		if err = want(2); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = a.srcReg(s.line, s.args[0], info); err != nil {
+			return in, err
+		}
+		in.Rs1, in.Imm, err = a.parseMem(s.line, s.args[1])
+		return in, err
+	}
+	return in, errf(s.line, "unhandled format for %s", info.Name)
+}
+
+// Disassemble renders a program back to readable assembly with addresses
+// and symbol annotations.
+func Disassemble(p *isa.Program) string {
+	var b strings.Builder
+	funcAt := map[uint64]string{}
+	for _, s := range p.Symbols {
+		if s.Kind == isa.SymFunc {
+			funcAt[s.Addr] = s.Name
+		}
+	}
+	for i, in := range p.Instrs {
+		addr := isa.CodeBase + uint64(i)*isa.InstrBytes
+		if name, ok := funcAt[addr]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  0x%06x  %v\n", addr, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *isa.Program) *vm.Machine {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := assemble(t, `
+		.entry main
+		main:
+		    li x1, 7
+		    li x2, 0x10     ; hex immediate
+		    add x3, x1, x2
+		    halt
+	`)
+	m := runProg(t, p)
+	if m.X[isa.X3] != 23 {
+		t.Errorf("x3 = %d, want 23", m.X[isa.X3])
+	}
+}
+
+func TestDefaultEntryIsMain(t *testing.T) {
+	p := assemble(t, "main:\n li x1, 5\n halt\n")
+	if p.Entry != isa.CodeBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func TestLoopWithLocalLabels(t *testing.T) {
+	p := assemble(t, `
+		main:
+		    li x1, 0          ; i
+		    li x2, 0          ; sum
+		    li x3, 100
+		.loop:
+		    bge x1, x3, .done
+		    add x2, x2, x1
+		    addi x1, x1, 1
+		    jmp .loop
+		.done:
+		    halt
+	`)
+	m := runProg(t, p)
+	if m.X[isa.X2] != 4950 {
+		t.Errorf("sum = %d, want 4950", m.X[isa.X2])
+	}
+}
+
+func TestGlobalsAndData(t *testing.T) {
+	p := assemble(t, `
+		.global buf 64
+		.double coeff 1.5 2.5 -3.75
+		.int count 42
+		main:
+		    li x1, coeff
+		    fld f1, [x1+8]
+		    li x2, count
+		    ld x3, [x2]
+		    li x4, buf
+		    st x3, [x4+16]
+		    ld x5, [x4+16]
+		    halt
+	`)
+	m := runProg(t, p)
+	if m.F[isa.F1] != 2.5 {
+		t.Errorf("f1 = %v, want 2.5", m.F[isa.F1])
+	}
+	if m.X[isa.X3] != 42 || m.X[isa.X5] != 42 {
+		t.Errorf("x3,x5 = %d,%d, want 42,42", m.X[isa.X3], m.X[isa.X5])
+	}
+	// Symbol table carries globals with aligned sizes.
+	buf, ok := p.Symbol("buf")
+	if !ok || buf.Kind != isa.SymGlobal || buf.Size != 64 {
+		t.Errorf("buf symbol = %+v, %v", buf, ok)
+	}
+	coeff, ok := p.Symbol("coeff")
+	if !ok || coeff.Size != 24 {
+		t.Errorf("coeff symbol = %+v, %v", coeff, ok)
+	}
+}
+
+func TestFunctionCallsAndPrologue(t *testing.T) {
+	p := assemble(t, `
+		.entry main
+		main:
+		    li x1, 6
+		    call square
+		    halt
+		square:
+		    push bp
+		    mov bp, sp
+		    addi sp, sp, -16
+		    mul x0, x1, x1
+		    mov sp, bp
+		    pop bp
+		    ret
+	`)
+	m := runProg(t, p)
+	if m.X[isa.X0] != 36 {
+		t.Errorf("x0 = %d, want 36", m.X[isa.X0])
+	}
+	sq, ok := p.Symbol("square")
+	if !ok || sq.Kind != isa.SymFunc {
+		t.Fatalf("square symbol missing")
+	}
+	if sq.Size != 7*isa.InstrBytes {
+		t.Errorf("square size = %d, want %d", sq.Size, 7*isa.InstrBytes)
+	}
+	f, ok := p.FuncAt(sq.Addr + 2*isa.InstrBytes)
+	if !ok || f.Name != "square" {
+		t.Errorf("FuncAt inside square = %+v", f)
+	}
+}
+
+func TestFloatImmediateAndPrint(t *testing.T) {
+	var sb strings.Builder
+	p := assemble(t, `
+		main:
+		    fli f1, 2.5
+		    fli f2, -0.5
+		    fadd f3, f1, f2
+		    printf f3
+		    halt
+	`)
+	m, err := vm.New(p, vm.Config{Out: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "2\n" {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p := assemble(t, `
+		.global g 32
+		main:
+		    li x1, g
+		    li x2, 9
+		    st x2, [x1]
+		    ld x3, [x1+0]
+		    st x2, [x1+24]
+		    addi x4, x1, 32
+		    ld x5, [x4-8]
+		    halt
+	`)
+	m := runProg(t, p)
+	if m.X[isa.X3] != 9 || m.X[isa.X5] != 9 {
+		t.Errorf("x3,x5 = %d,%d", m.X[isa.X3], m.X[isa.X5])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "main:\n frobnicate x1\n"},
+		{"bad register", "main:\n li q1, 5\n halt\n"},
+		{"wrong arity", "main:\n add x1, x2\n halt\n"},
+		{"unresolved symbol", "main:\n jmp nowhere\n halt\n"},
+		{"duplicate label", "main:\n nop\nmain:\n halt\n"},
+		{"missing entry", ".entry start\nmain:\n halt\n"},
+		{"bad directive", ".frob x 1\nmain:\n halt\n"},
+		{"bad global size", ".global g 0\nmain:\n halt\n"},
+		{"bad float", ".double d xyz\nmain:\n halt\n"},
+		{"bad mem operand", "main:\n ld x1, (x2)\n halt\n"},
+		{"float reg in int op", "main:\n add x1, f2, x3\n halt\n"},
+		{"int reg in float op", "main:\n fadd f1, x2, f3\n halt\n"},
+		{"label collides with global", ".global main 8\nmain:\n halt\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Errorf("assembled without error:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, err := Assemble("main:\n nop\n bogus x1\n halt\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 3 {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		.global data 16
+		main:
+		    li x1, data
+		    fli f1, 1.5
+		    fst f1, [x1+8]
+		    call helper
+		    halt
+		helper:
+		    push bp
+		    mov bp, sp
+		    pop bp
+		    ret
+	`
+	p := assemble(t, src)
+	dis := Disassemble(p)
+	for _, want := range []string{"main:", "helper:", "fli f1, 1.5", "fst f1, [x1+8]", "push bp", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	// Reassembling the disassembly modulo addresses is not supported (it
+	// prints absolute targets), but the listing must have one line per
+	// instruction plus function headers.
+	lines := strings.Count(dis, "\n")
+	if lines != len(p.Instrs)+2 {
+		t.Errorf("listing lines = %d, want %d", lines, len(p.Instrs)+2)
+	}
+}
+
+func TestConversionRegisterFiles(t *testing.T) {
+	p := assemble(t, `
+		main:
+		    li x1, -3
+		    i2f f1, x1
+		    f2i x2, f1
+		    halt
+	`)
+	m := runProg(t, p)
+	if m.F[isa.F1] != -3 || int64(m.X[isa.X2]) != -3 {
+		t.Errorf("conversions: f1=%v x2=%d", m.F[isa.F1], int64(m.X[isa.X2]))
+	}
+}
+
+func TestTrailingLabelGetsSyntheticHalt(t *testing.T) {
+	p := assemble(t, "main:\n jmp end\nend:\n")
+	m := runProg(t, p)
+	if !m.Halted {
+		t.Error("machine did not halt")
+	}
+}
+
+func TestObjectRoundTripThroughAssembler(t *testing.T) {
+	p := assemble(t, `
+		.double v 1.0 2.0
+		main:
+		    li x1, v
+		    fld f1, [x1]
+		    halt
+	`)
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q isa.Program
+	if err := q.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	m := runProg(t, &q)
+	if m.F[isa.F1] != 1.0 {
+		t.Errorf("f1 = %v", m.F[isa.F1])
+	}
+}

@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdviseRecommendsLetGoForIterativeApps(t *testing.T) {
+	// LULESH at high checkpoint cost: clear gain, tiny SDC delta.
+	app, _ := PaperAppByName("LULESH")
+	p := ParamsFor(app, 1200, 0.10, 21600)
+	a, err := Advise(p, AdviseConfig{ContinuedSDC: 0.002, Seed: 1, Horizon: testHorizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.UseLetGo {
+		t.Errorf("advice = %+v, want UseLetGo", a)
+	}
+	if a.Gain < 0.03 {
+		t.Errorf("gain = %v", a.Gain)
+	}
+	if a.Reason == "" {
+		t.Error("empty reason")
+	}
+}
+
+func TestAdviseRejectsOnSDCBudget(t *testing.T) {
+	app, _ := PaperAppByName("PENNANT")
+	p := ParamsFor(app, 1200, 0.10, 21600)
+	// Operator with a very strict SDC budget and an app with a high
+	// continued-SDC rate: decline.
+	a, err := Advise(p, AdviseConfig{
+		ContinuedSDC:   0.10,
+		MaxSDCIncrease: 0.001,
+		Seed:           2,
+		Horizon:        testHorizon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UseLetGo {
+		t.Errorf("advice = %+v, want decline on SDC budget", a)
+	}
+	if !strings.Contains(a.Reason, "SDC increase") {
+		t.Errorf("reason = %q", a.Reason)
+	}
+}
+
+func TestAdviseRejectsOnMarginalGain(t *testing.T) {
+	// HPL: continued intervals mostly fail verification; gain is marginal
+	// or negative, so the advice is to skip LetGo (the paper's Section-8
+	// conclusion for HPL).
+	p := ParamsFor(PaperHPL(), 1200, 0.10, 21600)
+	a, err := Advise(p, AdviseConfig{ContinuedSDC: 0.02, Seed: 3, Horizon: testHorizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UseLetGo {
+		t.Errorf("advice = %+v, want decline for HPL", a)
+	}
+}
+
+func TestAdviseValidatesParams(t *testing.T) {
+	var p Params // invalid
+	if _, err := Advise(p, AdviseConfig{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

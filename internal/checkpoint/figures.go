@@ -1,0 +1,70 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/stats"
+)
+
+// Point is one (x, efficiency-pair) sample of a figure series.
+type Point struct {
+	X        float64 // checkpoint cost (Fig 7) or node count (Fig 8)
+	Standard float64 // efficiency without LetGo
+	LetGo    float64 // efficiency with LetGo
+}
+
+// Gain is the absolute efficiency improvement at this point.
+func (p Point) Gain() float64 { return p.LetGo - p.Standard }
+
+// DefaultHorizon is the simulated wall-clock span: ten years, the paper's
+// "long simulation time" for asymptotic efficiency.
+const DefaultHorizon = 10 * 365 * 24 * 3600.0
+
+// Figure7 reproduces the paper's Figure 7: efficiency with and without
+// LetGo as the checkpoint cost scales (12 s, 120 s, 1200 s) at
+// MTBFaults = 21600 s and 10% synchronization overhead.
+func Figure7(app AppProbabilities, seed uint64) ([]Point, error) {
+	return SweepCheckpointCost(app, []float64{12, 120, 1200}, 0.10, 21600, seed, DefaultHorizon)
+}
+
+// SweepCheckpointCost runs both models across checkpoint costs.
+func SweepCheckpointCost(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64) ([]Point, error) {
+	rng := stats.NewRNG(seed)
+	out := make([]Point, 0, len(tchks))
+	for _, tchk := range tchks {
+		p := ParamsFor(app, tchk, syncFrac, mtbFaults)
+		std, lg, err := Compare(p, rng, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: tchk, Standard: std.Efficiency(), LetGo: lg.Efficiency()})
+	}
+	return out, nil
+}
+
+// Figure8 reproduces the paper's Figure 8: efficiency as the system
+// scales from 100k to 400k nodes. The 100k-node system has a crash MTBF
+// of 12 hours; MTBF halves per doubling of the node count, and
+// MTBFaults = 2*MTBF (the paper's simplification).
+func Figure8(app AppProbabilities, tchk float64, seed uint64) ([]Point, error) {
+	return SweepScale(app, tchk, 0.10, []int{100_000, 200_000, 400_000}, seed, DefaultHorizon)
+}
+
+// SweepScale runs both models across system sizes.
+func SweepScale(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64) ([]Point, error) {
+	rng := stats.NewRNG(seed)
+	out := make([]Point, 0, len(nodes))
+	for _, n := range nodes {
+		if n <= 0 {
+			return nil, fmt.Errorf("checkpoint: non-positive node count %d", n)
+		}
+		mtbf := 12 * 3600.0 * 100_000 / float64(n) // crash MTBF shrinks with scale
+		p := ParamsFor(app, tchk, syncFrac, 2*mtbf)
+		std, lg, err := Compare(p, rng, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: float64(n), Standard: std.Efficiency(), LetGo: lg.Efficiency()})
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package checkpoint
+
+import "math"
+
+// Daly returns Daly's higher-order estimate of the optimum checkpoint
+// interval [Daly 2006, the paper's citation 13]:
+//
+//	T_opt = sqrt(2*d*M) * (1 + sqrt(d/(2M))/3 + d/(9M)) - d   for d < 2M
+//	T_opt = M                                                 otherwise
+//
+// where d is the checkpoint write cost and M the failure MTBF. The paper
+// uses Young's first-order rule everywhere (citing El-Sayed & Schroeder
+// that it performs near-identically); Daly is provided for the D5
+// ablation comparing interval policies.
+func Daly(tchk, mtbf float64) float64 {
+	if math.IsInf(mtbf, 1) {
+		return Young(tchk, 1e12)
+	}
+	if tchk >= 2*mtbf {
+		return mtbf
+	}
+	s := math.Sqrt(2 * tchk * mtbf)
+	return s*(1+math.Sqrt(tchk/(2*mtbf))/3+tchk/(9*mtbf)) - tchk
+}
+
+// IntervalRule selects how the checkpoint interval is derived when
+// Params.Interval is zero.
+type IntervalRule uint8
+
+// Interval rules.
+const (
+	RuleYoung IntervalRule = iota // the paper's default
+	RuleDaly                      // Daly's higher-order estimate
+)
+
+func (r IntervalRule) String() string {
+	if r == RuleDaly {
+		return "daly"
+	}
+	return "young"
+}
+
+// intervalWith resolves the checkpoint interval under an explicit rule.
+func (p Params) intervalWith(rule IntervalRule, letgo bool) float64 {
+	if p.Interval > 0 {
+		return p.Interval
+	}
+	mtbf := p.MTBF()
+	if letgo {
+		mtbf = p.MTBFLetGo()
+	}
+	if rule == RuleDaly {
+		return Daly(p.TChk, mtbf)
+	}
+	return Young(p.TChk, mtbf)
+}

@@ -1,0 +1,121 @@
+package checkpoint
+
+// AppProbabilities carries the fault-injection-derived probabilities that
+// seed the C/R model for one application (Table 4's "Estimated" rows).
+type AppProbabilities struct {
+	Name    string
+	PCrash  float64 // P(crash | fault)
+	PV      float64 // P(pass acceptance check | one latent fault)
+	PVPrime float64 // P(pass | LetGo-continued interval)
+	PLetGo  float64 // LetGo continuability
+	// ContinuedSDC is the Section-5.3 Continued_SDC metric scaled to the
+	// continued runs: P(undetected incorrect | continued). Used by the
+	// Advise operator helper.
+	ContinuedSDC float64
+}
+
+// table3Row is one row of the paper's Table 3, as fractions of all
+// injections.
+type table3Row struct {
+	name                             string
+	detected, benign, sdc            float64
+	doubleCrash, cDet, cBenign, cSDC float64
+}
+
+// paperTable3 is the paper's Table 3 (LetGo-E, five iterative apps).
+var paperTable3 = []table3Row{
+	{"LULESH", 0.0090, 0.2200, 0.0013, 0.2500, 0.0230, 0.4950, 0.0017},
+	{"CLAMR", 0.0050, 0.3330, 0.0050, 0.2500, 0.0110, 0.3960, 0.0000},
+	{"SNAP", 0.0002, 0.4394, 0.0001, 0.2077, 0.0006, 0.3520, 0.0000},
+	{"COMD", 0.0100, 0.5500, 0.0110, 0.1832, 0.0085, 0.2213, 0.0160},
+	{"PENNANT", 0.0100, 0.5000, 0.0200, 0.1900, 0.0250, 0.2270, 0.0280},
+}
+
+func (r table3Row) probabilities() AppProbabilities {
+	crash := r.doubleCrash + r.cDet + r.cBenign + r.cSDC
+	finished := r.detected + r.benign + r.sdc
+	continued := r.cDet + r.cBenign + r.cSDC
+	p := AppProbabilities{Name: r.name}
+	p.PCrash = crash
+	if finished > 0 {
+		p.PV = (r.benign + r.sdc) / finished
+	}
+	if continued > 0 {
+		p.PVPrime = (r.cBenign + r.cSDC) / continued
+	}
+	if crash > 0 {
+		p.PLetGo = continued / crash
+	}
+	if continued > 0 {
+		p.ContinuedSDC = r.cSDC / continued
+	}
+	return p
+}
+
+// PaperApps returns the model probabilities derived from the paper's own
+// Table 3, one entry per iterative benchmark. Use these to regenerate the
+// paper's Figures 7 and 8 exactly as published.
+func PaperApps() []AppProbabilities {
+	out := make([]AppProbabilities, len(paperTable3))
+	for i, r := range paperTable3 {
+		out[i] = r.probabilities()
+	}
+	return out
+}
+
+// PaperHPL returns HPL's probabilities as reported in Section 8: 34% of
+// faults crash, 38% are caught by the residual check, ~1% are SDCs and 27%
+// are correct; LetGo achieves ~70% continuability and raises the SDC rate
+// from 1% to 3%. The continued-run split is reconstructed from those
+// aggregates (the paper reports only the SDC delta).
+func PaperHPL() AppProbabilities {
+	const (
+		crash    = 0.34
+		detected = 0.38
+		sdc      = 0.01
+		benign   = 0.27
+		pletgo   = 0.70
+	)
+	continued := pletgo * crash
+	cSDC := 0.02    // SDC rate rose from 1% to 3% of all runs
+	cBenign := 0.05 // the residual check is selective; few exact recoveries
+	return AppProbabilities{
+		Name:         "HPL",
+		PCrash:       crash,
+		PV:           (benign + sdc) / (benign + sdc + detected),
+		PVPrime:      (cBenign + cSDC) / continued,
+		PLetGo:       pletgo,
+		ContinuedSDC: cSDC / continued,
+	}
+}
+
+// PaperAppByName finds a paper-seeded probability set (iterative apps and
+// HPL).
+func PaperAppByName(name string) (AppProbabilities, bool) {
+	for _, p := range PaperApps() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	if name == "HPL" {
+		return PaperHPL(), true
+	}
+	return AppProbabilities{}, false
+}
+
+// ParamsFor assembles a full Table-4 parameter set from per-app
+// probabilities and the system configuration (checkpoint cost, sync
+// fraction, mean time between faults).
+func ParamsFor(app AppProbabilities, tchk, syncFrac, mtbFaults float64) Params {
+	return Params{
+		TChk:      tchk,
+		TSyncFrac: syncFrac,
+		TVFrac:    0.01,
+		TLetGo:    5,
+		MTBFaults: mtbFaults,
+		PCrash:    app.PCrash,
+		PV:        app.PV,
+		PVPrime:   app.PVPrime,
+		PLetGo:    app.PLetGo,
+	}
+}

@@ -1,0 +1,346 @@
+// Package core implements LetGo itself: the monitor that intercepts
+// crash-causing signals and the modifier that repairs application state so
+// execution can continue (Section 4 of the paper).
+//
+// The monitor re-defines the disposition of the crash-causing signals
+// (Table 1: SIGSEGV, SIGBUS, SIGABRT — stop, do not pass to the program).
+// When the application stops on one of them, the modifier advances the
+// program counter past the faulting instruction and, in Enhanced mode,
+// applies two heuristics:
+//
+//   - Heuristic I: an elided memory *load* leaves its destination register
+//     stale; refill it with 0 (memory is mostly zero-initialized data).
+//     An elided *store* needs nothing — the store simply did not happen.
+//   - Heuristic II: if the stack or base pointer is corrupted, every
+//     subsequent stack access faults again. Detect corruption with the
+//     statically-derived frame bound sp <= bp <= sp+frame(+slack) and
+//     repair the register the faulting instruction used by recomputing it
+//     from the other one.
+package core
+
+import (
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/debug"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Mode selects the repair level.
+type Mode uint8
+
+// Modes. Basic advances the PC only; Enhanced adds Heuristics I and II.
+const (
+	ModeBasic    Mode = iota // LetGo-B
+	ModeEnhanced             // LetGo-E
+)
+
+func (m Mode) String() string {
+	if m == ModeBasic {
+		return "LetGo-B"
+	}
+	return "LetGo-E"
+}
+
+// DefaultSignals is the paper's Table 1 signal set.
+func DefaultSignals() []vm.Signal {
+	return []vm.Signal{vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT}
+}
+
+// Options configures a LetGo runner. The zero value is LetGo-B with the
+// Table-1 signals and the paper's give-up-on-second-crash policy.
+type Options struct {
+	Mode Mode
+	// Signals lists the signals LetGo intercepts; nil means DefaultSignals.
+	Signals []vm.Signal
+	// MaxRepairs bounds how many crashes LetGo elides in one run; the
+	// paper's LetGo gives up when the continued application crashes again,
+	// i.e. MaxRepairs = 1. Zero means 1. (Ablation D4 raises it.)
+	MaxRepairs int
+	// FillInt/FillFloat are the Heuristic-I fill values (paper: zero).
+	FillInt   uint64
+	FillFloat float64
+	// DisableH1/DisableH2 switch off individual heuristics (ablation D1/D2).
+	DisableH1 bool
+	DisableH2 bool
+	// FrameSlack widens the Heuristic-II bound beyond the static frame
+	// size to cover pushed registers and the return address. Zero means 16.
+	FrameSlack uint64
+}
+
+func (o Options) maxRepairs() int {
+	if o.MaxRepairs <= 0 {
+		return 1
+	}
+	return o.MaxRepairs
+}
+
+func (o Options) frameSlack() uint64 {
+	if o.FrameSlack == 0 {
+		return 16
+	}
+	return o.FrameSlack
+}
+
+func (o Options) signals() []vm.Signal {
+	if o.Signals == nil {
+		return DefaultSignals()
+	}
+	return o.Signals
+}
+
+// Action flags recorded for one repair event.
+type Action uint8
+
+// Repair actions.
+const (
+	ActAdvancePC Action = 1 << iota
+	ActFillIntDest
+	ActFillFloatDest
+	ActRepairSP
+	ActRepairBP
+)
+
+// Event records one intercepted crash and what the modifier did.
+type Event struct {
+	Signal   vm.Signal
+	PC       uint64
+	Instr    isa.Instruction
+	NewPC    uint64
+	Actions  Action
+	Duration time.Duration // time spent inside the modifier
+	// Retired is the machine's retired-instruction count at interception,
+	// used to measure crash latency from an injection point.
+	Retired uint64
+}
+
+// OutcomeKind classifies how a run under LetGo ended.
+type OutcomeKind uint8
+
+// Run outcomes.
+const (
+	RunCompleted OutcomeKind = iota // program halted by itself
+	RunCrashed                      // terminated by a signal (double crash, or a non-intercepted signal)
+	RunHang                         // instruction budget exhausted
+)
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case RunCompleted:
+		return "completed"
+	case RunCrashed:
+		return "crashed"
+	case RunHang:
+		return "hang"
+	}
+	return "outcome?"
+}
+
+// Result summarizes a run under LetGo.
+type Result struct {
+	Outcome OutcomeKind
+	Signal  vm.Signal // the killing signal for RunCrashed
+	Repairs int       // crashes elided
+	Events  []Event
+	Retired uint64
+}
+
+// Runner supervises one application run: it owns the debugger attachment,
+// the signal table and the repair loop.
+type Runner struct {
+	Dbg  *debug.Debugger
+	An   *pin.Analysis
+	Opts Options
+
+	repairs int
+	events  []Event
+}
+
+// Attach wires LetGo onto a machine: it launches the debugger attachment
+// and installs the Table-1 dispositions (step 1 of the paper's Figure 3).
+func Attach(m *vm.Machine, an *pin.Analysis, opts Options) *Runner {
+	d := debug.New(m)
+	for _, sig := range opts.signals() {
+		d.Handle(sig, debug.Disposition{Stop: true, Pass: false})
+	}
+	return &Runner{Dbg: d, An: an, Opts: opts}
+}
+
+// Run executes the application under LetGo supervision until it halts,
+// hangs, or dies of a crash LetGo would not or could not elide.
+func (r *Runner) Run(maxInstrs uint64) Result {
+	stop := r.Dbg.Run(maxInstrs)
+	for {
+		switch stop.Reason {
+		case debug.StopHalt:
+			return r.result(RunCompleted, vm.SIGNONE)
+		case debug.StopBudget:
+			return r.result(RunHang, vm.SIGNONE)
+		case debug.StopTerminated:
+			return r.result(RunCrashed, stop.Signal)
+		case debug.StopSignal:
+			if r.repairs >= r.Opts.maxRepairs() {
+				// Second crash: LetGo does not intervene and the program
+				// terminates (Section 4.1).
+				return r.result(RunCrashed, stop.Signal)
+			}
+			if !r.repair(stop) {
+				return r.result(RunCrashed, stop.Signal)
+			}
+			stop = r.Dbg.Continue(maxInstrs)
+		case debug.StopBreakpoint:
+			// LetGo sets no breakpoints itself; a client (fault injector)
+			// may. Resume transparently.
+			stop = r.Dbg.Continue(maxInstrs)
+		default:
+			return r.result(RunCrashed, stop.Signal)
+		}
+	}
+}
+
+func (r *Runner) result(kind OutcomeKind, sig vm.Signal) Result {
+	return Result{
+		Outcome: kind,
+		Signal:  sig,
+		Repairs: r.repairs,
+		Events:  r.events,
+		Retired: r.Dbg.M.Retired,
+	}
+}
+
+// repair is the modifier (step 4 of Figure 3). It returns false when the
+// state cannot be adjusted (e.g. the PC itself is corrupted), in which
+// case LetGo lets the application die.
+func (r *Runner) repair(stop *debug.Stop) bool {
+	start := time.Now()
+	ev := Event{Signal: stop.Signal, PC: r.Dbg.PC(), Retired: r.Dbg.M.Retired}
+
+	if stop.Trap != nil && stop.Trap.Fetch {
+		// The PC itself is invalid: there is no "next instruction" to
+		// advance to. LetGo gives up.
+		return false
+	}
+	in, ok := r.An.InstrAt(r.Dbg.PC())
+	if !ok {
+		return false
+	}
+	ev.Instr = in
+
+	next, ok := r.An.NextPC(r.Dbg.PC())
+	if !ok {
+		return false
+	}
+
+	if r.Opts.Mode == ModeEnhanced {
+		if !r.Opts.DisableH1 {
+			r.heuristicI(in, &ev)
+		}
+		if !r.Opts.DisableH2 {
+			r.heuristicII(in, &ev)
+		}
+	}
+
+	r.Dbg.SetPC(next)
+	ev.NewPC = next
+	ev.Actions |= ActAdvancePC
+	ev.Duration = time.Since(start)
+	r.events = append(r.events, ev)
+	r.repairs++
+	return true
+}
+
+// heuristicI refills the destination register of an elided load with the
+// configured fill value (0 by default). Elided stores need no action.
+func (r *Runner) heuristicI(in isa.Instruction, ev *Event) {
+	info := in.Info()
+	if !info.Load {
+		return
+	}
+	switch info.Dest {
+	case isa.DestInt:
+		r.Dbg.SetIntReg(in.Rd, r.Opts.FillInt)
+		ev.Actions |= ActFillIntDest
+	case isa.DestFloat:
+		r.Dbg.SetFloatReg(in.Rd, r.Opts.FillFloat)
+		ev.Actions |= ActFillFloatDest
+	}
+}
+
+// heuristicII checks the sp/bp frame bound and repairs the corrupted
+// pointer. It only engages when the faulting instruction actually
+// addresses memory through sp or bp (stack ops, or loads/stores based on
+// sp/bp), matching the paper's "stops at an instruction that involves
+// stack operation".
+func (r *Runner) heuristicII(in isa.Instruction, ev *Event) {
+	info := in.Info()
+	usesSP := info.Stack
+	usesBP := false
+	if (info.Load || info.Store) && !info.Stack {
+		switch in.Rs1 {
+		case isa.SP:
+			usesSP = true
+		case isa.BP:
+			usesBP = true
+		}
+	}
+	if !usesSP && !usesBP {
+		return
+	}
+
+	frame, ok := r.An.FrameSize(r.Dbg.PC())
+	if !ok {
+		// No prologue information: fall back to a generous bound so wild
+		// corruption is still caught.
+		frame = 4096
+	}
+	bound := frame + r.Opts.frameSlack()
+
+	sp := r.Dbg.IntReg(isa.SP)
+	bp := r.Dbg.IntReg(isa.BP)
+	if bp >= sp && bp-sp <= bound {
+		return // range constraint holds; nothing to repair
+	}
+
+	// The bound is violated. Repair the register the faulting instruction
+	// used, deriving it from the other (Section 4.2, detection+correction).
+	// Plausibility: prefer to trust the register that still points into
+	// the stack segment.
+	spOK := r.inStack(sp)
+	bpOK := r.inStack(bp)
+	switch {
+	case usesSP && bpOK:
+		r.Dbg.SetIntReg(isa.SP, bp-frame)
+		ev.Actions |= ActRepairSP
+	case usesBP && spOK:
+		r.Dbg.SetIntReg(isa.BP, sp+frame)
+		ev.Actions |= ActRepairBP
+	case usesSP && !bpOK && spOK:
+		// sp looks fine but bp is wild: fix bp opportunistically so later
+		// bp-relative accesses survive.
+		r.Dbg.SetIntReg(isa.BP, sp+frame)
+		ev.Actions |= ActRepairBP
+	case usesBP && !spOK && bpOK:
+		r.Dbg.SetIntReg(isa.SP, bp-frame)
+		ev.Actions |= ActRepairSP
+	default:
+		// Both implausible: copy one over the other anyway, per the paper
+		// ("one can be used to correct the error in the other one").
+		if usesSP {
+			r.Dbg.SetIntReg(isa.SP, bp-frame)
+			ev.Actions |= ActRepairSP
+		} else {
+			r.Dbg.SetIntReg(isa.BP, sp+frame)
+			ev.Actions |= ActRepairBP
+		}
+	}
+}
+
+// inStack reports whether addr lies inside the stack segment.
+func (r *Runner) inStack(addr uint64) bool {
+	s, ok := r.Dbg.M.Mem.SegmentAt(addr)
+	return ok && s.Name == "stack"
+}
+
+// Events returns the repair log so far.
+func (r *Runner) Events() []Event { return r.events }

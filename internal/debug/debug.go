@@ -1,0 +1,250 @@
+// Package debug is the gdb analog of the reproduction: it attaches to a
+// vm.Machine and provides exactly the control surface LetGo's prototype takes
+// from gdb — a per-signal disposition table (the paper's Table 1),
+// breakpoints with ignore counts, single-stepping, register and PC
+// access, and continue.
+package debug
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Disposition says what the debugger does when the debuggee raises a
+// signal, mirroring gdb's "handle <sig> stop/nostop pass/nopass".
+type Disposition struct {
+	// Stop: the debugger suspends the program and returns control to the
+	// client (LetGo) instead of letting the signal act.
+	Stop bool
+	// Pass: the signal is delivered to the program, which for the
+	// crash-causing signals means termination.
+	Pass bool
+}
+
+// Default dispositions terminate the program, which is what happens with
+// no debugger attached: every crash-causing signal kills the debuggee.
+var defaultDisposition = Disposition{Stop: false, Pass: true}
+
+// StopReason classifies why Continue returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt       StopReason = iota // program executed HALT
+	StopBreakpoint                   // a breakpoint with exhausted ignore count
+	StopSignal                       // a signal with Stop disposition
+	StopTerminated                   // a signal with Pass disposition killed the program
+	StopBudget                       // the retired-instruction budget ran out
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopBreakpoint:
+		return "breakpoint"
+	case StopSignal:
+		return "signal"
+	case StopTerminated:
+		return "terminated"
+	case StopBudget:
+		return "budget"
+	}
+	return fmt.Sprintf("stopreason?%d", r)
+}
+
+// Stop describes why the debuggee stopped.
+type Stop struct {
+	Reason StopReason
+	Signal vm.Signal // for StopSignal / StopTerminated
+	Trap   *vm.Trap  // machine exception details, if any
+	BP     *Breakpoint
+}
+
+// Breakpoint suspends execution when the PC reaches Addr, after skipping
+// the first Ignore hits (gdb's "ignore" counter; the fault injector uses
+// it to reach the N-th dynamic instance of a static instruction).
+type Breakpoint struct {
+	Addr    uint64
+	Ignore  uint64
+	Hits    uint64
+	Enabled bool
+}
+
+// Debugger drives one machine.
+type Debugger struct {
+	M *vm.Machine
+
+	dispositions map[vm.Signal]Disposition
+	breakpoints  map[uint64]*Breakpoint
+	// resumeFrom suppresses re-triggering the breakpoint at the current PC
+	// when continuing from it (gdb steps over the breakpoint on resume).
+	resumeFrom uint64
+	hasResume  bool
+}
+
+// New attaches a debugger to m.
+func New(m *vm.Machine) *Debugger {
+	return &Debugger{
+		M:            m,
+		dispositions: make(map[vm.Signal]Disposition),
+		breakpoints:  make(map[uint64]*Breakpoint),
+	}
+}
+
+// Handle sets the disposition for sig (gdb: "handle SIGSEGV stop nopass").
+func (d *Debugger) Handle(sig vm.Signal, disp Disposition) {
+	d.dispositions[sig] = disp
+}
+
+// DispositionFor reports the effective disposition for sig.
+func (d *Debugger) DispositionFor(sig vm.Signal) Disposition {
+	if disp, ok := d.dispositions[sig]; ok {
+		return disp
+	}
+	return defaultDisposition
+}
+
+// SetBreakpoint installs (or replaces) a breakpoint at addr that fires on
+// the (ignore+1)-th hit.
+func (d *Debugger) SetBreakpoint(addr uint64, ignore uint64) (*Breakpoint, error) {
+	if _, ok := d.M.Prog.InstrAt(addr); !ok {
+		return nil, fmt.Errorf("debug: breakpoint at non-code address 0x%x", addr)
+	}
+	bp := &Breakpoint{Addr: addr, Ignore: ignore, Enabled: true}
+	d.breakpoints[addr] = bp
+	return bp, nil
+}
+
+// ClearBreakpoint removes the breakpoint at addr.
+func (d *Debugger) ClearBreakpoint(addr uint64) {
+	delete(d.breakpoints, addr)
+}
+
+// Breakpoints returns the installed breakpoints.
+func (d *Debugger) Breakpoints() []*Breakpoint {
+	out := make([]*Breakpoint, 0, len(d.breakpoints))
+	for _, bp := range d.breakpoints {
+		out = append(out, bp)
+	}
+	return out
+}
+
+// PC returns the debuggee program counter.
+func (d *Debugger) PC() uint64 { return d.M.PC }
+
+// SetPC rewrites the program counter — LetGo's core primitive
+// ("advance the program counter to the next instruction").
+func (d *Debugger) SetPC(pc uint64) { d.M.PC = pc }
+
+// IntReg reads an integer register.
+func (d *Debugger) IntReg(r isa.Reg) uint64 { return d.M.X[r] }
+
+// SetIntReg writes an integer register (gdb: "set $reg = v").
+func (d *Debugger) SetIntReg(r isa.Reg, v uint64) { d.M.X[r] = v }
+
+// FloatReg reads a float register.
+func (d *Debugger) FloatReg(r isa.Reg) float64 { return d.M.F[r] }
+
+// SetFloatReg writes a float register.
+func (d *Debugger) SetFloatReg(r isa.Reg, v float64) { d.M.F[r] = v }
+
+// StepInstr executes exactly one instruction, honoring dispositions: a
+// trapped signal either stops (Stop disposition) or terminates (Pass).
+// A nil Stop means the instruction retired normally.
+func (d *Debugger) StepInstr() *Stop {
+	err := d.M.Step()
+	if err == nil {
+		if d.M.Halted {
+			return &Stop{Reason: StopHalt}
+		}
+		return nil
+	}
+	if trap, ok := err.(*vm.Trap); ok {
+		disp := d.DispositionFor(trap.Signal)
+		if disp.Stop {
+			return &Stop{Reason: StopSignal, Signal: trap.Signal, Trap: trap}
+		}
+		return &Stop{Reason: StopTerminated, Signal: trap.Signal, Trap: trap}
+	}
+	// Step on an already-halted machine: treat as halt.
+	return &Stop{Reason: StopHalt}
+}
+
+func (d *Debugger) lookupBP(pc uint64) (*Breakpoint, bool) {
+	if len(d.breakpoints) == 0 {
+		return nil, false
+	}
+	bp, ok := d.breakpoints[pc]
+	return bp, ok
+}
+
+// Continue resumes execution until a stop event or until the machine has
+// retired maxInstrs instructions in total.
+//
+// With no breakpoints installed, the debuggee runs at native machine
+// speed and the debugger only sees trap events — matching gdb, which adds
+// no per-instruction work to a program it merely supervises (the paper's
+// Section-6.2 "<1% overhead" measurement).
+func (d *Debugger) Continue(maxInstrs uint64) *Stop {
+	if len(d.breakpoints) == 0 {
+		d.hasResume = false
+		if d.M.Halted {
+			return &Stop{Reason: StopHalt}
+		}
+		err := d.M.Run(maxInstrs)
+		switch {
+		case err == nil:
+			return &Stop{Reason: StopHalt}
+		case errors.Is(err, vm.ErrBudget):
+			return &Stop{Reason: StopBudget}
+		}
+		if trap, ok := err.(*vm.Trap); ok {
+			if d.DispositionFor(trap.Signal).Stop {
+				return &Stop{Reason: StopSignal, Signal: trap.Signal, Trap: trap}
+			}
+			return &Stop{Reason: StopTerminated, Signal: trap.Signal, Trap: trap}
+		}
+		return &Stop{Reason: StopHalt}
+	}
+
+	first := true
+	for {
+		if d.M.Halted {
+			return &Stop{Reason: StopHalt}
+		}
+		if d.M.Retired >= maxInstrs {
+			return &Stop{Reason: StopBudget}
+		}
+		// Breakpoint check happens before executing the instruction at PC,
+		// except immediately after resuming from that same breakpoint.
+		// (The len check keeps the no-breakpoint execution path free of a
+		// per-instruction map lookup.)
+		if bp, ok := d.lookupBP(d.M.PC); ok && bp.Enabled {
+			skip := first && d.hasResume && d.resumeFrom == d.M.PC
+			if !skip {
+				bp.Hits++
+				if bp.Hits > bp.Ignore {
+					d.resumeFrom = d.M.PC
+					d.hasResume = true
+					return &Stop{Reason: StopBreakpoint, BP: bp}
+				}
+			}
+		}
+		first = false
+		if stop := d.StepInstr(); stop != nil {
+			d.hasResume = false
+			return stop
+		}
+	}
+}
+
+// Run is Continue with the resume marker cleared: use it for the initial
+// launch of the program under the debugger.
+func (d *Debugger) Run(maxInstrs uint64) *Stop {
+	d.hasResume = false
+	return d.Continue(maxInstrs)
+}

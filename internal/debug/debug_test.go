@@ -1,0 +1,252 @@
+package debug
+
+import (
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+func machine(t *testing.T, src string) *vm.Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const loopSrc = `
+	main:
+	    li x1, 0
+	    li x2, 5
+	.loop:
+	    bge x1, x2, .done
+	    addi x1, x1, 1
+	    jmp .loop
+	.done:
+	    halt
+`
+
+func TestRunToHalt(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopHalt {
+		t.Fatalf("stop = %+v, want halt", stop)
+	}
+	if d.IntReg(isa.X1) != 5 {
+		t.Errorf("x1 = %d, want 5", d.IntReg(isa.X1))
+	}
+}
+
+func TestBreakpointFirstHit(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	bpAddr := isa.CodeBase + 3*isa.InstrBytes // the addi
+	if _, err := d.SetBreakpoint(bpAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopBreakpoint || stop.BP.Addr != bpAddr {
+		t.Fatalf("stop = %+v, want breakpoint", stop)
+	}
+	if d.PC() != bpAddr {
+		t.Errorf("pc = %#x, want %#x (before the instruction)", d.PC(), bpAddr)
+	}
+	if d.IntReg(isa.X1) != 0 {
+		t.Errorf("x1 = %d: breakpoint stopped after execution", d.IntReg(isa.X1))
+	}
+}
+
+func TestBreakpointIgnoreCountReachesNthInstance(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	bpAddr := isa.CodeBase + 3*isa.InstrBytes
+	if _, err := d.SetBreakpoint(bpAddr, 2); err != nil { // fire on 3rd hit
+		t.Fatal(err)
+	}
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopBreakpoint {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if d.IntReg(isa.X1) != 2 {
+		t.Errorf("x1 = %d, want 2 (two increments already done)", d.IntReg(isa.X1))
+	}
+	// The injector clears the breakpoint once the target instance is
+	// reached; after that the program runs to completion.
+	d.ClearBreakpoint(bpAddr)
+	stop = d.Continue(1 << 16)
+	if stop.Reason != StopHalt {
+		t.Fatalf("resume stop = %+v, want halt", stop)
+	}
+	if d.IntReg(isa.X1) != 5 {
+		t.Errorf("x1 = %d, want 5", d.IntReg(isa.X1))
+	}
+}
+
+func TestBreakpointRetriggersOnLoopback(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	bpAddr := isa.CodeBase + 3*isa.InstrBytes
+	if _, err := d.SetBreakpoint(bpAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	stop := d.Run(1 << 16)
+	for stop.Reason == StopBreakpoint {
+		hits++
+		stop = d.Continue(1 << 16)
+	}
+	if hits != 5 {
+		t.Errorf("breakpoint hits = %d, want 5", hits)
+	}
+	if stop.Reason != StopHalt {
+		t.Errorf("final stop = %+v", stop)
+	}
+}
+
+func TestBreakpointOnBadAddress(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if _, err := d.SetBreakpoint(0xDEAD, 0); err == nil {
+		t.Error("breakpoint on non-code address accepted")
+	}
+}
+
+func TestClearBreakpoint(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	bpAddr := isa.CodeBase + 3*isa.InstrBytes
+	if _, err := d.SetBreakpoint(bpAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Breakpoints()) != 1 {
+		t.Fatal("breakpoint not listed")
+	}
+	d.ClearBreakpoint(bpAddr)
+	if stop := d.Run(1 << 16); stop.Reason != StopHalt {
+		t.Errorf("stop = %+v, want halt after clear", stop)
+	}
+}
+
+const crashSrc = `
+	main:
+	    li x1, 0x40000000000
+	    ld x2, [x1]
+	    halt
+`
+
+func TestSignalDefaultTerminates(t *testing.T) {
+	d := New(machine(t, crashSrc))
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopTerminated || stop.Signal != vm.SIGSEGV {
+		t.Fatalf("stop = %+v, want terminated SIGSEGV", stop)
+	}
+}
+
+func TestSignalStopDisposition(t *testing.T) {
+	d := New(machine(t, crashSrc))
+	// The paper's Table 1: stop, do not pass to the program.
+	d.Handle(vm.SIGSEGV, Disposition{Stop: true, Pass: false})
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopSignal || stop.Signal != vm.SIGSEGV {
+		t.Fatalf("stop = %+v, want signal stop", stop)
+	}
+	// The program is suspended at the faulting instruction with state
+	// uncommitted — the client can now repair and continue.
+	if d.PC() != isa.CodeBase+isa.InstrBytes {
+		t.Errorf("pc = %#x", d.PC())
+	}
+	// Skip the faulting instruction manually and continue to completion.
+	d.SetPC(d.PC() + isa.InstrBytes)
+	stop = d.Continue(1 << 16)
+	if stop.Reason != StopHalt {
+		t.Fatalf("stop = %+v, want halt", stop)
+	}
+}
+
+func TestDispositionTableDefaults(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	disp := d.DispositionFor(vm.SIGSEGV)
+	if disp.Stop || !disp.Pass {
+		t.Errorf("default disposition = %+v, want terminate", disp)
+	}
+	d.Handle(vm.SIGBUS, Disposition{Stop: true})
+	if !d.DispositionFor(vm.SIGBUS).Stop {
+		t.Error("Handle did not take effect")
+	}
+	if d.DispositionFor(vm.SIGABRT).Stop {
+		t.Error("Handle leaked to other signals")
+	}
+}
+
+func TestRegisterAccess(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	d.SetIntReg(isa.X9, 0xABCD)
+	if d.IntReg(isa.X9) != 0xABCD {
+		t.Error("int reg roundtrip failed")
+	}
+	d.SetFloatReg(isa.F3, -1.25)
+	if d.FloatReg(isa.F3) != -1.25 {
+		t.Error("float reg roundtrip failed")
+	}
+}
+
+func TestBudgetStop(t *testing.T) {
+	d := New(machine(t, "main:\n jmp main\n"))
+	stop := d.Run(500)
+	if stop.Reason != StopBudget {
+		t.Fatalf("stop = %+v, want budget", stop)
+	}
+	if d.M.Retired != 500 {
+		t.Errorf("retired = %d", d.M.Retired)
+	}
+}
+
+func TestStepInstr(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if stop := d.StepInstr(); stop != nil {
+		t.Fatalf("step 1 stop = %+v", stop)
+	}
+	if d.M.Retired != 1 {
+		t.Errorf("retired = %d", d.M.Retired)
+	}
+	// Stepping a crashing instruction reports the signal per disposition.
+	dc := New(machine(t, crashSrc))
+	dc.Handle(vm.SIGSEGV, Disposition{Stop: true})
+	if stop := dc.StepInstr(); stop != nil {
+		t.Fatalf("first step stop = %+v", stop)
+	}
+	stop := dc.StepInstr()
+	if stop == nil || stop.Reason != StopSignal {
+		t.Fatalf("crash step stop = %+v", stop)
+	}
+}
+
+func TestContinueAfterSignalStopWithBreakpointSet(t *testing.T) {
+	// A breakpoint at the faulting instruction must not block the signal
+	// stop path, and continuing after repair must not double count.
+	d := New(machine(t, crashSrc))
+	d.Handle(vm.SIGSEGV, Disposition{Stop: true})
+	faultAddr := isa.CodeBase + isa.InstrBytes
+	bp, err := d.SetBreakpoint(faultAddr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := d.Run(1 << 16)
+	if stop.Reason != StopBreakpoint {
+		t.Fatalf("stop = %+v, want breakpoint first", stop)
+	}
+	stop = d.Continue(1 << 16)
+	if stop.Reason != StopSignal {
+		t.Fatalf("stop = %+v, want signal", stop)
+	}
+	if bp.Hits != 1 {
+		t.Errorf("hits = %d, want 1", bp.Hits)
+	}
+	d.SetPC(faultAddr + isa.InstrBytes)
+	stop = d.Continue(1 << 16)
+	if stop.Reason != StopHalt {
+		t.Fatalf("stop = %+v, want halt", stop)
+	}
+}

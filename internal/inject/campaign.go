@@ -1,0 +1,215 @@
+package inject
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/stats"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Campaign is a fault-injection campaign against one benchmark app: N
+// independent single-bit-flip injections, each in a fresh machine,
+// classified against the app's acceptance check and golden output.
+type Campaign struct {
+	App  *apps.App
+	Mode Mode
+	N    int
+	Seed uint64
+	// Workers bounds the parallel injection workers; 0 means GOMAXPROCS.
+	Workers int
+	// BudgetFactor scales the hang budget relative to the golden dynamic
+	// instruction count; 0 means 3.
+	BudgetFactor float64
+	// Opts overrides the LetGo options derived from Mode (for ablations:
+	// custom fill values, disabled heuristics, retry budgets...). Ignored
+	// for NoLetGo.
+	Opts *core.Options
+	// Model is the corruption pattern; the zero value is the paper's
+	// single-bit-flip model.
+	Model FaultModel
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	App           string
+	Mode          Mode
+	N             int
+	Counts        outcome.Counts
+	Metrics       outcome.Metrics
+	GoldenRetired uint64
+	// Signals histograms the first crash-causing signal of the crashed or
+	// repaired runs.
+	Signals map[vm.Signal]int
+	// PCrash is the crash-branch fraction among all injections — the
+	// paper's "56% of faults lead to crashes" statistic and the model's
+	// P_crash input.
+	PCrash float64
+	// CrashLatencies holds, for every run whose fault crashed (or whose
+	// crash LetGo intercepted), the dynamic-instruction distance from
+	// injection to the first crash signal — the paper's observation 3.
+	CrashLatencies []uint64
+}
+
+// MedianCrashLatency returns the median injection-to-crash distance in
+// dynamic instructions (0 when no crashes were observed).
+func (r *Result) MedianCrashLatency() uint64 {
+	if len(r.CrashLatencies) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), r.CrashLatencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// Run executes the campaign. It is deterministic for a fixed seed and N,
+// regardless of worker count.
+func (c *Campaign) Run() (*Result, error) {
+	if c.App == nil || c.N <= 0 {
+		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
+	}
+	prog, err := c.App.Compile()
+	if err != nil {
+		return nil, err
+	}
+	an := pin.Analyze(prog)
+
+	// Golden run: acceptance data and output to compare against.
+	gm, err := c.App.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	factor := c.BudgetFactor
+	if factor == 0 {
+		factor = 3
+	}
+	const profileBudget = 1 << 32
+	if err := gm.Run(profileBudget); err != nil {
+		return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+	}
+	goldenOK, err := c.App.Accept(gm)
+	if err != nil {
+		return nil, err
+	}
+	if !goldenOK {
+		return nil, fmt.Errorf("inject: golden run of %s fails its acceptance check", c.App.Name)
+	}
+	golden, err := c.App.Output(gm)
+	if err != nil {
+		return nil, err
+	}
+	budget := uint64(float64(gm.Retired)*factor) + 100_000
+
+	// Profiling phase (Section 5.4).
+	prof, err := an.ProfileRun(vm.Config{}, profileBudget)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-sample all plans from the root RNG so results do not depend on
+	// worker scheduling.
+	rng := stats.NewRNG(c.Seed)
+	plans := make([]Plan, c.N)
+	for i := range plans {
+		if plans[i], err = SamplePlanModel(prog, prof, rng, c.Model); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.N {
+		workers = c.N
+	}
+
+	classes := make([]outcome.Class, c.N)
+	signals := make([]vm.Signal, c.N)
+	latencies := make([]uint64, c.N)
+	hasLatency := make([]bool, c.N)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < c.N; i += workers {
+				cl, sig, lat, hasLat, err := c.one(prog, an, plans[i], budget, golden)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				classes[i] = cl
+				signals[i] = sig
+				latencies[i] = lat
+				hasLatency[i] = hasLat
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		App:           c.App.Name,
+		Mode:          c.Mode,
+		N:             c.N,
+		GoldenRetired: gm.Retired,
+		Signals:       map[vm.Signal]int{},
+	}
+	for i, cl := range classes {
+		res.Counts.Add(cl)
+		if cl.CrashBranch() && signals[i] != vm.SIGNONE {
+			res.Signals[signals[i]]++
+		}
+		if hasLatency[i] {
+			res.CrashLatencies = append(res.CrashLatencies, latencies[i])
+		}
+	}
+	res.Metrics = outcome.ComputeMetrics(&res.Counts)
+	res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
+	return res, nil
+}
+
+// one executes and classifies a single injection.
+func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (outcome.Class, vm.Signal, uint64, bool, error) {
+	ro, err := executeWith(prog, an, plan, c.Mode, c.Opts, budget)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	rec := outcome.RunRecord{
+		Finished: ro.Finished,
+		Hang:     ro.Hang,
+		Repaired: ro.Repaired,
+	}
+	sig := ro.Signal
+	if ro.Repaired && sig == vm.SIGNONE {
+		sig = vm.SIGSEGV // at least one crash was elided; exact signal in events
+	}
+	if ro.Finished {
+		pass, err := c.App.Accept(ro.Machine)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		rec.CheckPassed = pass
+		if pass {
+			out, err := c.App.Output(ro.Machine)
+			if err != nil {
+				return 0, 0, 0, false, err
+			}
+			rec.MatchesGolden = c.App.MatchesGolden(out, golden)
+		}
+	}
+	return outcome.Classify(rec), sig, ro.CrashLatency, ro.HasLatency, nil
+}

@@ -1,0 +1,23 @@
+package inject
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+)
+
+func TestGapScratch(t *testing.T) {
+	for _, name := range []string{"CLAMR", "PENNANT"} {
+		a, _ := apps.ByName(name)
+		for _, mode := range []Mode{LetGoB, LetGoE} {
+			c := &Campaign{App: a, Mode: mode, N: 600, Seed: 42}
+			r, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%-8s %-8s pcrash=%.2f cont=%.3f correct=%.3f sdc=%.3f\n",
+				name, mode, r.PCrash, r.Metrics.Continuability, r.Metrics.ContinuedCorrect, r.Metrics.ContinuedSDC)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package inject implements the paper's fault-injection methodology
+// (Section 5.4): a one-time profiling phase counts dynamic instructions,
+// and each injection run places a breakpoint on a uniformly random dynamic
+// instruction, single-steps it, and flips one random bit in its
+// destination register "after the instruction completes". The run then
+// continues — either bare (signals terminate the program) or under LetGo.
+package inject
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/debug"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/stats"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Mode selects the supervision regime for injected runs.
+type Mode uint8
+
+// Supervision modes.
+const (
+	NoLetGo Mode = iota // crash-causing signals terminate the run
+	LetGoB              // LetGo basic: PC advance only
+	LetGoE              // LetGo enhanced: PC advance + Heuristics I & II
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoLetGo:
+		return "none"
+	case LetGoB:
+		return "LetGo-B"
+	case LetGoE:
+		return "LetGo-E"
+	}
+	return fmt.Sprintf("mode?%d", m)
+}
+
+// CoreOptions translates an injection mode into LetGo runner options.
+func (m Mode) CoreOptions() core.Options {
+	switch m {
+	case LetGoB:
+		return core.Options{Mode: core.ModeBasic}
+	default:
+		return core.Options{Mode: core.ModeEnhanced}
+	}
+}
+
+// FaultModel selects the corruption pattern applied to the destination
+// register. SingleBit is the paper's model (Section 5.1); the multi-bit
+// models realize the Section-8 discussion of errors that escape ECC
+// ("30% of memory errors manifested as multiple bit flips that cannot be
+// corrected via ECC").
+type FaultModel uint8
+
+// Fault models.
+const (
+	SingleBit FaultModel = iota // one uniformly random bit (paper default)
+	DoubleBit                   // two distinct random bits
+	ByteBurst                   // 8 consecutive bits at a random byte lane
+)
+
+func (f FaultModel) String() string {
+	switch f {
+	case SingleBit:
+		return "single-bit"
+	case DoubleBit:
+		return "double-bit"
+	case ByteBurst:
+		return "byte-burst"
+	}
+	return fmt.Sprintf("faultmodel?%d", f)
+}
+
+// mask draws a corruption mask for the model.
+func (f FaultModel) mask(rng *stats.RNG) uint64 {
+	switch f {
+	case DoubleBit:
+		a := rng.Uint64n(64)
+		b := rng.Uint64n(64)
+		for b == a {
+			b = rng.Uint64n(64)
+		}
+		return 1<<a | 1<<b
+	case ByteBurst:
+		return uint64(0xFF) << (8 * rng.Uint64n(8))
+	default:
+		return 1 << rng.Uint64n(64)
+	}
+}
+
+// Plan is one injection: XOR Mask into the destination register of the
+// Instance-th execution of the static instruction at Addr.
+type Plan struct {
+	Site pin.Site
+	Mask uint64
+}
+
+// SamplePlan draws a uniformly random dynamic instruction that has a
+// destination register (the paper's fault model targets the destination
+// register of computational instructions) and a single-bit mask.
+func SamplePlan(prog *isa.Program, prof *pin.Profile, rng *stats.RNG) (Plan, error) {
+	return SamplePlanModel(prog, prof, rng, SingleBit)
+}
+
+// SamplePlanModel is SamplePlan under an explicit fault model.
+func SamplePlanModel(prog *isa.Program, prof *pin.Profile, rng *stats.RNG, model FaultModel) (Plan, error) {
+	for attempt := 0; attempt < 10_000; attempt++ {
+		dyn := rng.Uint64n(prof.Total)
+		site, err := prof.SiteOf(dyn)
+		if err != nil {
+			return Plan{}, err
+		}
+		in, ok := prog.InstrAt(site.Addr)
+		if !ok {
+			return Plan{}, fmt.Errorf("inject: site %#x outside code", site.Addr)
+		}
+		if in.Info().Dest == isa.DestNone {
+			continue // stores, branches, halts: no destination register
+		}
+		return Plan{Site: site, Mask: model.mask(rng)}, nil
+	}
+	return Plan{}, fmt.Errorf("inject: program has no instructions with destination registers")
+}
+
+// RunOutcome is the raw result of one injected run, before application-
+// level output checking.
+type RunOutcome struct {
+	Plan     Plan
+	Finished bool
+	Hang     bool
+	Repaired bool // LetGo elided at least one crash
+	Signal   vm.Signal
+	Retired  uint64
+	Machine  *vm.Machine // final machine state (for output checks)
+	// CrashLatency is the number of instructions retired between the
+	// injection and the first crash-causing signal (valid when the run
+	// crashed, or when LetGo intercepted a crash). The paper's third
+	// founding observation is that this latency is small.
+	CrashLatency uint64
+	HasLatency   bool
+}
+
+// Execute performs one injection run: break at the planned site, step the
+// instruction, flip the planned bit in its destination register, and
+// continue to an end state under the requested mode.
+func Execute(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, budget uint64) (RunOutcome, error) {
+	return executeWith(prog, an, plan, mode, nil, budget)
+}
+
+// executeWith is Execute with an optional LetGo option override (used by
+// campaigns running heuristic ablations).
+func executeWith(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64) (RunOutcome, error) {
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		return RunOutcome{}, err
+	}
+
+	var runner *core.Runner
+	var dbg *debug.Debugger
+	if mode == NoLetGo {
+		dbg = debug.New(m)
+	} else {
+		opts := mode.CoreOptions()
+		if override != nil {
+			opts = *override
+		}
+		runner = core.Attach(m, an, opts)
+		dbg = runner.Dbg
+	}
+
+	if _, err := dbg.SetBreakpoint(plan.Site.Addr, plan.Site.Instance-1); err != nil {
+		return RunOutcome{}, err
+	}
+	stop := dbg.Run(budget)
+	if stop.Reason != debug.StopBreakpoint {
+		return RunOutcome{}, fmt.Errorf("inject: never reached site %+v (stop %v)", plan.Site, stop.Reason)
+	}
+	// Execute the target instruction, then corrupt its destination.
+	if s := dbg.StepInstr(); s != nil {
+		return RunOutcome{}, fmt.Errorf("inject: target instruction itself stopped: %v", s.Reason)
+	}
+	in, _ := prog.InstrAt(plan.Site.Addr)
+	flipDest(dbg, in, plan.Mask)
+	dbg.ClearBreakpoint(plan.Site.Addr)
+	injectedAt := m.Retired
+
+	out := RunOutcome{Plan: plan, Machine: m}
+	if runner != nil {
+		res := runner.Run(budget)
+		out.Repaired = res.Repairs > 0
+		out.Signal = res.Signal
+		out.Finished = res.Outcome == core.RunCompleted
+		out.Hang = res.Outcome == core.RunHang
+		if len(res.Events) > 0 {
+			out.CrashLatency = res.Events[0].Retired - injectedAt
+			out.HasLatency = true
+		} else if res.Outcome == core.RunCrashed {
+			out.CrashLatency = m.Retired - injectedAt
+			out.HasLatency = true
+		}
+	} else {
+		stop := dbg.Continue(budget)
+		switch stop.Reason {
+		case debug.StopHalt:
+			out.Finished = true
+		case debug.StopBudget:
+			out.Hang = true
+		case debug.StopTerminated:
+			out.Signal = stop.Signal
+			out.CrashLatency = m.Retired - injectedAt
+			out.HasLatency = true
+		default:
+			return RunOutcome{}, fmt.Errorf("inject: unexpected stop %v", stop.Reason)
+		}
+	}
+	out.Retired = m.Retired
+	return out, nil
+}
+
+// flipDest XORs mask into the destination register of in.
+func flipDest(d *debug.Debugger, in isa.Instruction, mask uint64) {
+	switch in.Info().Dest {
+	case isa.DestInt:
+		d.SetIntReg(in.Rd, d.IntReg(in.Rd)^mask)
+	case isa.DestFloat:
+		bits := math.Float64bits(d.FloatReg(in.Rd)) ^ mask
+		d.SetFloatReg(in.Rd, math.Float64frombits(bits))
+	}
+}

@@ -1,0 +1,424 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/lang"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/stats"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// testApp is a small, fast convergent kernel for injector unit tests.
+func testApp(t *testing.T) *apps.App {
+	t.Helper()
+	a := &apps.App{
+		Name:      "JACOBI-TEST",
+		Domain:    "test",
+		Iterative: true,
+		Tolerance: 1e-10,
+		Source: `
+			var u [32] float;
+			var tmp [32] float;
+			var residual float;
+			var iters int;
+			func main() {
+				var i int;
+				var s int;
+				u[31] = 1.0;
+				for (s = 0; s < 40; s = s + 1) {
+					for (i = 1; i < 31; i = i + 1) {
+						tmp[i] = 0.5 * (u[i-1] + u[i+1]);
+					}
+					for (i = 1; i < 31; i = i + 1) {
+						u[i] = tmp[i];
+					}
+					iters = iters + 1;
+				}
+				residual = 0.0;
+				for (i = 1; i < 31; i = i + 1) {
+					residual = residual + fabs(u[i] - 0.5 * (u[i-1] + u[i+1]));
+				}
+			}
+		`,
+		Accept: func(m *vm.Machine) (bool, error) {
+			iters, err := m.ReadGlobalInt("iters", 0)
+			if err != nil {
+				return false, err
+			}
+			if iters != 40 {
+				return false, nil
+			}
+			r, err := m.ReadGlobalFloat("residual", 0)
+			if err != nil {
+				return false, err
+			}
+			return r >= 0 && r < 0.5, nil
+		},
+		Output: func(m *vm.Machine) ([]float64, error) {
+			return m.ReadGlobalFloats("u", 32)
+		},
+	}
+	if _, err := a.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSamplePlanTargetsDestRegisters(t *testing.T) {
+	a := testApp(t)
+	prog, _ := a.Compile()
+	an := pin.Analyze(prog)
+	prof, err := an.ProfileRun(vm.Config{}, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		plan, err := SamplePlan(prog, prof, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, ok := prog.InstrAt(plan.Site.Addr)
+		if !ok {
+			t.Fatal("plan outside code")
+		}
+		if in.Info().Dest == isa.DestNone {
+			t.Fatalf("plan targets %v with no destination", in)
+		}
+		if plan.Site.Instance == 0 || plan.Site.Instance > prof.CountAt(plan.Site.Addr) {
+			t.Fatalf("instance %d out of range", plan.Site.Instance)
+		}
+		if plan.Mask == 0 || plan.Mask&(plan.Mask-1) != 0 {
+			t.Fatalf("single-bit mask %#x", plan.Mask)
+		}
+	}
+}
+
+func TestExecuteInjectsExactlyOneFlip(t *testing.T) {
+	// Flipping a high mantissa bit of an FLI destination register changes
+	// the value the program computes with; the run finishes (no pointer
+	// involved) and the output differs from golden.
+	src := `
+		var out float;
+		func main() { out = 1.0; out = out + 0.0; }
+	`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := pin.Analyze(prog)
+	prof, err := an.ProfileRun(vm.Config{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the FLI 1.0 instruction.
+	var site pin.Site
+	found := false
+	for i, in := range prog.Instrs {
+		if in.Op == isa.FLI && in.Float() == 1.0 {
+			addr := isa.CodeBase + uint64(i)*isa.InstrBytes
+			if prof.CountAt(addr) == 1 {
+				site = pin.Site{Addr: addr, Instance: 1}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no FLI 1.0 site found")
+	}
+	// Bit 51 (top mantissa bit): 1.0 -> 1.5.
+	ro, err := Execute(prog, an, Plan{Site: site, Mask: 1 << 51}, NoLetGo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Finished {
+		t.Fatalf("run did not finish: %+v", ro)
+	}
+	v, err := ro.Machine.ReadGlobalFloat("out", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.5 {
+		t.Errorf("out = %v, want 1.5 after mantissa flip", v)
+	}
+}
+
+func TestExecuteCrashWithoutLetGo(t *testing.T) {
+	// Flip the top bit of an address-forming register: guaranteed SIGSEGV
+	// without LetGo.
+	src := `
+		var g [8] float;
+		var out float;
+		func main() { out = g[3]; }
+	`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := pin.Analyze(prog)
+	prof, err := an.ProfileRun(vm.Config{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the LI that loads the array base address.
+	g, _ := prog.Symbol("g")
+	var site pin.Site
+	for i, in := range prog.Instrs {
+		if in.Op == isa.LI && uint64(in.Imm) == g.Addr {
+			addr := isa.CodeBase + uint64(i)*isa.InstrBytes
+			if prof.CountAt(addr) > 0 {
+				site = pin.Site{Addr: addr, Instance: 1}
+				break
+			}
+		}
+	}
+	if site.Addr == 0 {
+		t.Fatal("no LI site found")
+	}
+
+	ro, err := Execute(prog, an, Plan{Site: site, Mask: 1 << 45}, NoLetGo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Finished || ro.Signal != vm.SIGSEGV {
+		t.Fatalf("outcome = %+v, want SIGSEGV crash", ro)
+	}
+
+	// Same injection under LetGo-E: the crash is elided; Heuristic I
+	// fills the loaded value with 0 and the run completes.
+	ro, err = Execute(prog, an, Plan{Site: site, Mask: 1 << 45}, LetGoE, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Finished || !ro.Repaired {
+		t.Fatalf("outcome = %+v, want repaired completion", ro)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a := testApp(t)
+	run := func(workers int) *Result {
+		c := &Campaign{App: a, Mode: LetGoE, N: 40, Seed: 99, Workers: workers}
+		r, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1 := run(1)
+	r2 := run(4)
+	if r1.Counts != r2.Counts {
+		t.Errorf("counts differ across worker counts:\n%+v\n%+v", r1.Counts, r2.Counts)
+	}
+}
+
+func TestCampaignClassifiesReasonably(t *testing.T) {
+	a := testApp(t)
+	c := &Campaign{App: a, Mode: NoLetGo, N: 120, Seed: 7}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.N != 120 {
+		t.Fatalf("N = %d", r.Counts.N)
+	}
+	// Without LetGo there can be no continued or double-crash outcomes.
+	for _, cl := range []outcome.Class{outcome.CBenign, outcome.CSDC, outcome.CDetected, outcome.DoubleCrash} {
+		if r.Counts.By[cl] != 0 {
+			t.Errorf("%v = %d without LetGo", cl, r.Counts.By[cl])
+		}
+	}
+	// Single-bit flips must produce a mix: some benign, some crashes.
+	if r.Counts.By[outcome.Benign] == 0 {
+		t.Error("no benign outcomes at all")
+	}
+	if r.Counts.CrashTotal() == 0 {
+		t.Error("no crashes at all")
+	}
+	if r.PCrash <= 0 || r.PCrash >= 1 {
+		t.Errorf("PCrash = %v", r.PCrash)
+	}
+	if len(r.Signals) == 0 {
+		t.Error("no crash signals recorded")
+	}
+}
+
+func TestCampaignLetGoEContinuesSomeCrashes(t *testing.T) {
+	a := testApp(t)
+	c := &Campaign{App: a, Mode: LetGoE, N: 120, Seed: 7}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := r.Counts.By[outcome.CBenign] + r.Counts.By[outcome.CSDC] + r.Counts.By[outcome.CDetected]
+	if cont == 0 {
+		t.Error("LetGo-E continued no crashes")
+	}
+	if r.Metrics.Continuability <= 0 || r.Metrics.Continuability > 1 {
+		t.Errorf("continuability = %v", r.Metrics.Continuability)
+	}
+	sum := r.Metrics.ContinuedCorrect + r.Metrics.ContinuedDetected + r.Metrics.ContinuedSDC
+	if math.Abs(sum-r.Metrics.Continuability) > 1e-9 {
+		t.Error("metric identity violated")
+	}
+}
+
+func TestCampaignAblationOptions(t *testing.T) {
+	a := testApp(t)
+	opts := core.Options{Mode: core.ModeEnhanced, DisableH1: true, DisableH2: true}
+	c := &Campaign{App: a, Mode: LetGoE, N: 40, Seed: 3, Opts: &opts}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.N != 40 {
+		t.Error("ablation campaign incomplete")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := (&Campaign{}).Run(); err == nil {
+		t.Error("empty campaign accepted")
+	}
+	a := testApp(t)
+	if _, err := (&Campaign{App: a, N: 0}).Run(); err == nil {
+		t.Error("zero-N campaign accepted")
+	}
+}
+
+func TestFaultModels(t *testing.T) {
+	prog, err := lang.Compile(`var out float; func main() { out = 1.0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &pin.Profile{Total: 1, Counts: []uint64{0}}
+	// Build a fake single-instruction profile over the real program: find
+	// any dest-bearing instruction and give it one execution.
+	prof.Counts = make([]uint64, len(prog.Instrs))
+	for i, in := range prog.Instrs {
+		if in.Info().Dest != isa.DestNone {
+			prof.Counts[i] = 1
+			break
+		}
+	}
+	rng := stats.NewRNG(4)
+	popcount := func(x uint64) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	for i := 0; i < 200; i++ {
+		p, err := SamplePlanModel(prog, prof, rng, SingleBit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if popcount(p.Mask) != 1 {
+			t.Fatalf("single-bit mask %#x", p.Mask)
+		}
+		p, err = SamplePlanModel(prog, prof, rng, DoubleBit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if popcount(p.Mask) != 2 {
+			t.Fatalf("double-bit mask %#x", p.Mask)
+		}
+		p, err = SamplePlanModel(prog, prof, rng, ByteBurst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if popcount(p.Mask) != 8 || p.Mask%0xFF != 0 {
+			t.Fatalf("byte-burst mask %#x", p.Mask)
+		}
+	}
+}
+
+func TestFaultModelCampaign(t *testing.T) {
+	a := testApp(t)
+	single := &Campaign{App: a, Mode: LetGoE, N: 150, Seed: 8, Model: SingleBit}
+	burst := &Campaign{App: a, Mode: LetGoE, N: 150, Seed: 8, Model: ByteBurst}
+	rs, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := burst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A byte burst is strictly more corruption than one of its bits, so
+	// it should not produce fewer visible outcomes (crash or detected or
+	// SDC) than the single-bit model on the same seeds.
+	visible := func(r *Result) int {
+		return r.Counts.N - r.Counts.By[outcome.Benign] - r.Counts.By[outcome.CBenign]
+	}
+	if visible(rb) < visible(rs)-15 {
+		t.Errorf("burst visible outcomes %d << single-bit %d", visible(rb), visible(rs))
+	}
+	if rb.Counts.N != 150 || rs.Counts.N != 150 {
+		t.Error("campaign incomplete")
+	}
+}
+
+func TestFaultModelStrings(t *testing.T) {
+	if SingleBit.String() != "single-bit" || DoubleBit.String() != "double-bit" || ByteBurst.String() != "byte-burst" {
+		t.Error("fault model names wrong")
+	}
+}
+
+func TestCrashLatencyObservation(t *testing.T) {
+	// The paper's observation 3: crash-causing errors crash within a
+	// small number of dynamic instructions. Median latency must be tiny
+	// compared with the app's run length.
+	a := testApp(t)
+	c := &Campaign{App: a, Mode: NoLetGo, N: 200, Seed: 31}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CrashLatencies) == 0 {
+		t.Fatal("no crash latencies recorded")
+	}
+	if len(r.CrashLatencies) != r.Counts.CrashTotal() {
+		t.Errorf("latencies %d != crashes %d", len(r.CrashLatencies), r.Counts.CrashTotal())
+	}
+	med := r.MedianCrashLatency()
+	t.Logf("median crash latency: %d instructions (golden run %d)", med, r.GoldenRetired)
+	if med == 0 || med > r.GoldenRetired/100 {
+		t.Errorf("median latency %d not small relative to run length %d", med, r.GoldenRetired)
+	}
+	// Empty campaign result: median 0.
+	if (&Result{}).MedianCrashLatency() != 0 {
+		t.Error("empty median not 0")
+	}
+}
+
+func TestAMGResilienceUnderLetGo(t *testing.T) {
+	// The extension app reproducing Casas et al.: with convergence-based
+	// termination, continued executions overwhelmingly end correct —
+	// C-SDC stays near zero because surviving perturbations converge away.
+	c := &Campaign{App: apps.AMG, Mode: LetGoE, N: 150, Seed: 17}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.CrashTotal() == 0 {
+		t.Fatal("no crashes to elide")
+	}
+	m := r.Metrics
+	t.Logf("AMG: crash %.0f%%, continuability %.2f, correct %.2f, detected %.2f, sdc %.2f",
+		100*r.PCrash, m.Continuability, m.ContinuedCorrect, m.ContinuedDetected, m.ContinuedSDC)
+	if m.Continuability < 0.5 {
+		t.Errorf("continuability %.2f too low", m.Continuability)
+	}
+	if m.ContinuedSDC > 0.10 {
+		t.Errorf("AMG continued-SDC %.2f should be near zero (errors converge away)", m.ContinuedSDC)
+	}
+}

@@ -1,0 +1,158 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// InstrBytes is the architectural size of one instruction for PC
+// arithmetic: the PC advances by InstrBytes per retired instruction.
+const InstrBytes = 4
+
+// EncodedBytes is the size of one instruction in the binary object format
+// produced by Encode (wider than InstrBytes so the 64-bit immediate fits;
+// the object format is a storage format, not the architectural layout).
+const EncodedBytes = 16
+
+// Instruction is one decoded machine instruction. Operand meaning depends
+// on the opcode's format:
+//
+//	FmtRRR    op rd, rs1, rs2
+//	FmtRRI    op rd, rs1, imm
+//	FmtMemLd  op rd, [rs1+imm]
+//	FmtMemSt  op rs2, [rs1+imm]
+//	FmtRRB    op rs1, rs2, imm(target)
+type Instruction struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Float returns the instruction immediate interpreted as an IEEE-754
+// binary64 value (used by FLI).
+func (in Instruction) Float() float64 { return math.Float64frombits(uint64(in.Imm)) }
+
+// WithFloat returns in with its immediate set to the bit pattern of f.
+func (in Instruction) WithFloat(f float64) Instruction {
+	in.Imm = int64(math.Float64bits(f))
+	return in
+}
+
+// Info returns the opcode metadata for the instruction.
+func (in Instruction) Info() Info { return OpInfo(in.Op) }
+
+// Encode appends the 16-byte object-format encoding of in to dst.
+func (in Instruction) Encode(dst []byte) []byte {
+	var b [EncodedBytes]byte
+	binary.LittleEndian.PutUint16(b[0:2], uint16(in.Op))
+	b[2] = byte(in.Rd)
+	b[3] = byte(in.Rs1)
+	b[4] = byte(in.Rs2)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(in.Imm))
+	return append(dst, b[:]...)
+}
+
+// DecodeInstruction decodes one instruction from the start of b.
+func DecodeInstruction(b []byte) (Instruction, error) {
+	if len(b) < EncodedBytes {
+		return Instruction{}, fmt.Errorf("isa: short instruction encoding: %d bytes", len(b))
+	}
+	in := Instruction{
+		Op:  Op(binary.LittleEndian.Uint16(b[0:2])),
+		Rd:  Reg(b[2]),
+		Rs1: Reg(b[3]),
+		Rs2: Reg(b[4]),
+		Imm: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// Validate checks that register operands are in range for the opcode's
+// register files.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	lim := func(r Reg, file string, n int) error {
+		if int(r) >= n {
+			return fmt.Errorf("isa: %s: %s register %d out of range", in.Op, file, r)
+		}
+		return nil
+	}
+	info := in.Info()
+	// All operand fields must index a valid register in whichever file the
+	// opcode reads/writes; both files have the same size so a single bound
+	// suffices for sources.
+	if err := lim(in.Rd, "dest", NumIntRegs); err != nil {
+		return err
+	}
+	if err := lim(in.Rs1, "src1", NumIntRegs); err != nil {
+		return err
+	}
+	if err := lim(in.Rs2, "src2", NumIntRegs); err != nil {
+		return err
+	}
+	_ = info
+	return nil
+}
+
+// srcName renders a source register honoring the opcode's source file.
+func (in Instruction) srcName(r Reg) string {
+	if in.Info().FloatSrc {
+		return FloatRegName(r)
+	}
+	return IntRegName(r)
+}
+
+// destName renders the destination register honoring the opcode's dest file.
+func (in Instruction) destName() string {
+	if in.Info().Dest == DestFloat {
+		return FloatRegName(in.Rd)
+	}
+	return IntRegName(in.Rd)
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	info := in.Info()
+	switch info.Fmt {
+	case FmtNone:
+		return info.Name
+	case FmtR:
+		// PUSH/PRINTI/PRINTF read Rs1; POP/CYCLES write Rd.
+		if info.Dest != DestNone {
+			return fmt.Sprintf("%s %s", info.Name, in.destName())
+		}
+		return fmt.Sprintf("%s %s", info.Name, in.srcName(in.Rs1))
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.destName(), in.srcName(in.Rs1))
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, in.destName(), in.srcName(in.Rs1), in.srcName(in.Rs2))
+	case FmtRI:
+		if in.Op == FLI {
+			return fmt.Sprintf("%s %s, %s", info.Name, in.destName(), strconv.FormatFloat(in.Float(), 'g', -1, 64))
+		}
+		return fmt.Sprintf("%s %s, %d", info.Name, in.destName(), in.Imm)
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, in.destName(), IntRegName(in.Rs1), in.Imm)
+	case FmtI:
+		return fmt.Sprintf("%s 0x%x", info.Name, uint64(in.Imm))
+	case FmtRRB:
+		return fmt.Sprintf("%s %s, %s, 0x%x", info.Name, in.srcName(in.Rs1), in.srcName(in.Rs2), uint64(in.Imm))
+	case FmtMemLd:
+		return fmt.Sprintf("%s %s, [%s%+d]", info.Name, in.destName(), IntRegName(in.Rs1), in.Imm)
+	case FmtMemSt:
+		return fmt.Sprintf("%s %s, [%s%+d]", info.Name, in.srcName(in.Rs2), IntRegName(in.Rs1), in.Imm)
+	}
+	return info.Name
+}

@@ -1,0 +1,336 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		name string
+	}{
+		{X0, "x0"}, {X13, "x13"}, {BP, "bp"}, {SP, "sp"},
+	}
+	for _, c := range cases {
+		if got := IntRegName(c.r); got != c.name {
+			t.Errorf("IntRegName(%d) = %q, want %q", c.r, got, c.name)
+		}
+		r, ok := IntRegByName(c.name)
+		if !ok || r != c.r {
+			t.Errorf("IntRegByName(%q) = %d,%v, want %d", c.name, r, ok, c.r)
+		}
+	}
+	if _, ok := IntRegByName("x16"); ok {
+		t.Error("IntRegByName accepted x16")
+	}
+	if _, ok := IntRegByName("f0"); ok {
+		t.Error("IntRegByName accepted f0")
+	}
+}
+
+func TestFloatRegNames(t *testing.T) {
+	for i := Reg(0); i < NumFloatRegs; i++ {
+		name := FloatRegName(i)
+		r, ok := FloatRegByName(name)
+		if !ok || r != i {
+			t.Errorf("FloatRegByName(%q) = %d,%v, want %d", name, r, ok, i)
+		}
+	}
+	for _, bad := range []string{"f16", "f-1", "f01", "x0", "f"} {
+		if _, ok := FloatRegByName(bad); ok {
+			t.Errorf("FloatRegByName accepted %q", bad)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v, want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+}
+
+func TestOpInfoClassifications(t *testing.T) {
+	if !OpInfo(LD).Load || OpInfo(LD).Store {
+		t.Error("LD should be a load, not a store")
+	}
+	if !OpInfo(ST).Store || OpInfo(ST).Load {
+		t.Error("ST should be a store, not a load")
+	}
+	if OpInfo(FLD).Dest != DestFloat {
+		t.Error("FLD dest should be float")
+	}
+	for _, op := range []Op{PUSH, POP, CALL, RET} {
+		if !OpInfo(op).Stack {
+			t.Errorf("%v should be a stack op", op)
+		}
+	}
+	for _, op := range []Op{JMP, BEQ, BNE, BLT, BGE, CALL, RET} {
+		if !OpInfo(op).Branch {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	if OpInfo(ADD).Dest != DestInt || OpInfo(FADD).Dest != DestFloat || OpInfo(ST).Dest != DestNone {
+		t.Error("destination kinds misclassified")
+	}
+	// Float comparisons read floats but write an integer flag register.
+	for _, op := range []Op{FEQ, FNE, FLT, FLE} {
+		if OpInfo(op).Dest != DestInt || !OpInfo(op).FloatSrc {
+			t.Errorf("%v should read float, write int", op)
+		}
+	}
+}
+
+func TestEveryOpcodeHasNameAndFormat(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < numOps; op++ {
+		info := OpInfo(op)
+		if info.Name == "" {
+			t.Fatalf("opcode %d has no metadata", op)
+		}
+		if prev, dup := seen[info.Name]; dup {
+			t.Errorf("mnemonic %q reused by %v and %v", info.Name, prev, op)
+		}
+		seen[info.Name] = op
+	}
+}
+
+func randInstr(r *rand.Rand) Instruction {
+	return Instruction{
+		Op:  Op(r.Intn(NumOps)),
+		Rd:  Reg(r.Intn(NumIntRegs)),
+		Rs1: Reg(r.Intn(NumIntRegs)),
+		Rs2: Reg(r.Intn(NumIntRegs)),
+		Imm: r.Int63() - r.Int63(),
+	}
+}
+
+func TestInstructionEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstr(r)
+		enc := in.Encode(nil)
+		if len(enc) != EncodedBytes {
+			return false
+		}
+		out, err := DecodeInstruction(enc)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeInstruction(make([]byte, 3)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := Instruction{Op: HALT}.Encode(nil)
+	bad[0] = 0xFF
+	bad[1] = 0xFF
+	if _, err := DecodeInstruction(bad); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestInstructionFloatImm(t *testing.T) {
+	in := Instruction{Op: FLI, Rd: F3}.WithFloat(3.25)
+	if in.Float() != 3.25 {
+		t.Errorf("Float() = %v, want 3.25", in.Float())
+	}
+	in = in.WithFloat(math.Inf(-1))
+	if !math.IsInf(in.Float(), -1) {
+		t.Error("WithFloat lost -Inf")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: HALT}, "halt"},
+		{Instruction{Op: ADD, Rd: X1, Rs1: X2, Rs2: X3}, "add x1, x2, x3"},
+		{Instruction{Op: ADDI, Rd: SP, Rs1: SP, Imm: -656}, "addi sp, sp, -656"},
+		{Instruction{Op: LI, Rd: X5, Imm: 42}, "li x5, 42"},
+		{Instruction{Op: FLI, Rd: F2}.WithFloat(1.5), "fli f2, 1.5"},
+		{Instruction{Op: LD, Rd: X4, Rs1: BP, Imm: -16}, "ld x4, [bp-16]"},
+		{Instruction{Op: ST, Rs2: X4, Rs1: BP, Imm: 8}, "st x4, [bp+8]"},
+		{Instruction{Op: FLD, Rd: F1, Rs1: X2, Imm: 0}, "fld f1, [x2+0]"},
+		{Instruction{Op: FST, Rs2: F1, Rs1: X2, Imm: 24}, "fst f1, [x2+24]"},
+		{Instruction{Op: PUSH, Rs1: BP}, "push bp"},
+		{Instruction{Op: POP, Rd: X9}, "pop x9"},
+		{Instruction{Op: CALL, Imm: 0x1040}, "call 0x1040"},
+		{Instruction{Op: BEQ, Rs1: X1, Rs2: X2, Imm: 0x1010}, "beq x1, x2, 0x1010"},
+		{Instruction{Op: FADD, Rd: F0, Rs1: F1, Rs2: F2}, "fadd f0, f1, f2"},
+		{Instruction{Op: FSQRT, Rd: F5, Rs1: F6}, "fsqrt f5, f6"},
+		{Instruction{Op: I2F, Rd: F1, Rs1: X3}, "i2f f1, x3"},
+		{Instruction{Op: F2I, Rd: X3, Rs1: F1}, "f2i x3, f1"},
+		{Instruction{Op: PRINTF, Rs1: F0}, "printf f0"},
+		{Instruction{Op: CYCLES, Rd: X7}, "cycles x7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramAddressing(t *testing.T) {
+	p := &Program{
+		Instrs: []Instruction{{Op: NOP}, {Op: NOP}, {Op: HALT}},
+		Entry:  CodeBase,
+	}
+	if p.CodeEnd() != CodeBase+3*InstrBytes {
+		t.Fatalf("CodeEnd = %#x", p.CodeEnd())
+	}
+	if in, ok := p.InstrAt(CodeBase + 2*InstrBytes); !ok || in.Op != HALT {
+		t.Error("InstrAt missed HALT")
+	}
+	if _, ok := p.InstrAt(CodeBase + 1); ok {
+		t.Error("InstrAt accepted unaligned address")
+	}
+	if _, ok := p.InstrAt(CodeBase - InstrBytes); ok {
+		t.Error("InstrAt accepted address below code")
+	}
+	next, ok := p.NextPC(CodeBase)
+	if !ok || next != CodeBase+InstrBytes {
+		t.Errorf("NextPC = %#x,%v", next, ok)
+	}
+	if _, ok := p.NextPC(CodeBase + 2*InstrBytes); ok {
+		t.Error("NextPC should fail at last instruction")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := &Program{
+		Instrs: make([]Instruction, 16),
+		Entry:  CodeBase,
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymFunc, Addr: CodeBase, Size: 8 * InstrBytes},
+			{Name: "kernel", Kind: SymFunc, Addr: CodeBase + 8*InstrBytes, Size: 8 * InstrBytes},
+			{Name: "g", Kind: SymGlobal, Addr: GlobalBase, Size: 8},
+		},
+	}
+	p.SortSymbols()
+	s, ok := p.FuncAt(CodeBase + 9*InstrBytes)
+	if !ok || s.Name != "kernel" {
+		t.Errorf("FuncAt = %+v,%v, want kernel", s, ok)
+	}
+	s, ok = p.FuncAt(CodeBase)
+	if !ok || s.Name != "main" {
+		t.Errorf("FuncAt = %+v,%v, want main", s, ok)
+	}
+	if _, ok := p.FuncAt(CodeBase + 1000*InstrBytes); ok {
+		t.Error("FuncAt found a function past all code")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{}
+	if err := p.Validate(); err == nil {
+		t.Error("empty program validated")
+	}
+	p = &Program{Instrs: []Instruction{{Op: HALT}}, Entry: CodeBase + 4}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range entry validated")
+	}
+	p = &Program{
+		Instrs: []Instruction{{Op: HALT}},
+		Entry:  CodeBase,
+		Data:   []DataSpan{{Addr: GlobalBase + 100, Bytes: []byte{1}}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("data outside globals validated")
+	}
+	p.Globals = 200
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestProgramMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := &Program{
+		Entry:   CodeBase + 2*InstrBytes,
+		Globals: 64,
+		Data: []DataSpan{
+			{Addr: GlobalBase, Bytes: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			{Addr: GlobalBase + 16, Bytes: []byte{9, 10}},
+		},
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymFunc, Addr: CodeBase, Size: 40},
+			{Name: "grid", Kind: SymGlobal, Addr: GlobalBase, Size: 64},
+		},
+	}
+	for i := 0; i < 10; i++ {
+		p.Instrs = append(p.Instrs, randInstr(r))
+	}
+	p.Instrs = append(p.Instrs, Instruction{Op: HALT})
+
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(q.Instrs) != len(p.Instrs) || q.Entry != p.Entry || q.Globals != p.Globals {
+		t.Fatal("header mismatch after round trip")
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != q.Instrs[i] {
+			t.Fatalf("instruction %d mismatch: %v vs %v", i, p.Instrs[i], q.Instrs[i])
+		}
+	}
+	if len(q.Data) != 2 || string(q.Data[0].Bytes) != string(p.Data[0].Bytes) {
+		t.Error("data mismatch after round trip")
+	}
+	if len(q.Symbols) != 2 || q.Symbols[0] != p.Symbols[0] || q.Symbols[1] != p.Symbols[1] {
+		t.Error("symbols mismatch after round trip")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	p := &Program{Instrs: []Instruction{{Op: HALT}}, Entry: CodeBase}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(b[:len(b)-1]); err == nil {
+		t.Error("truncated object accepted")
+	}
+	b[0] = 'X'
+	if err := q.UnmarshalBinary(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := q.UnmarshalBinary(nil); err == nil {
+		t.Error("empty object accepted")
+	}
+}
+
+func TestDisassemblyMentionsOperandRegisters(t *testing.T) {
+	// Property: for RRR integer ops the disassembly names all three registers.
+	f := func(rd, rs1, rs2 uint8) bool {
+		in := Instruction{Op: ADD, Rd: Reg(rd % NumIntRegs), Rs1: Reg(rs1 % NumIntRegs), Rs2: Reg(rs2 % NumIntRegs)}
+		s := in.String()
+		return strings.Contains(s, IntRegName(in.Rd)) &&
+			strings.Contains(s, IntRegName(in.Rs1)) &&
+			strings.Contains(s, IntRegName(in.Rs2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

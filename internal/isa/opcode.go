@@ -1,0 +1,253 @@
+package isa
+
+import "fmt"
+
+// Op enumerates the machine opcodes.
+type Op uint16
+
+// Opcode space. The groups matter: opcode metadata (see Info) classifies
+// instructions for the executor, the PIN-analog static analyzer, the fault
+// injector (which needs to know each instruction's destination register)
+// and LetGo's repair heuristics (which need to know loads, stores and
+// stack-relative instructions).
+const (
+	NOP Op = iota
+	HALT
+	ABORT // raise SIGABRT (used by compiled bounds/assert checks)
+
+	// Integer ALU, register-register: rd, rs1, rs2.
+	ADD
+	SUB
+	MUL
+	DIV // traps with SIGABRT on divide-by-zero, like a SIGFPE->abort
+	REM
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+
+	// Integer ALU, register-immediate: rd, rs1, imm.
+	ADDI
+	MULI
+	ANDI
+
+	// Integer unary / moves.
+	MOV // rd, rs1
+	NEG // rd, rs1
+	NOT // rd, rs1
+	LI  // rd, imm
+
+	// Integer comparisons producing 0/1 in rd.
+	SEQ
+	SNE
+	SLT
+	SLE
+
+	// Float comparisons producing 0/1 in integer rd: rd, fs1, fs2.
+	FEQ
+	FNE
+	FLT
+	FLE
+
+	// Memory. Addresses are rs1+imm; accesses are 8 bytes, 8-byte aligned.
+	LD  // rd  <- mem[rs1+imm]
+	ST  // mem[rs1+imm] <- rs2
+	FLD // fd  <- mem[rs1+imm]
+	FST // mem[rs1+imm] <- fs2
+
+	// Stack. PUSH/POP move sp by 8; CALL pushes the return address and
+	// jumps; RET pops the return address and jumps to it.
+	PUSH // rs1
+	POP  // rd
+	CALL // imm (code address)
+	RET
+
+	// Control flow. Branch targets are absolute code addresses in imm.
+	JMP // imm
+	BEQ // rs1, rs2, imm
+	BNE
+	BLT
+	BGE
+
+	// Float ALU: fd, fs1, fs2.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMIN
+	FMAX
+
+	// Float unary: fd, fs1.
+	FMOV
+	FNEG
+	FABS
+	FSQRT
+
+	// Float immediate: fd, imm (imm holds IEEE-754 bits).
+	FLI
+
+	// Conversions.
+	I2F // fd, rs1
+	F2I // rd, fs1 (truncates toward zero)
+
+	// Host calls (the VM's "syscalls"): application output and timing.
+	PRINTI // rs1: print integer
+	PRINTF // fs1: print float
+	CYCLES // rd <- retired instruction count
+
+	numOps // sentinel; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Fmt describes an instruction's operand format, driving the assembler,
+// the disassembler and the encoder.
+type Fmt uint8
+
+// Operand formats.
+const (
+	FmtNone  Fmt = iota // op
+	FmtR                // op rd
+	FmtRR               // op rd, rs1
+	FmtRRR              // op rd, rs1, rs2
+	FmtRI               // op rd, imm
+	FmtRRI              // op rd, rs1, imm
+	FmtI                // op imm
+	FmtRRB              // op rs1, rs2, imm  (branches: two sources + target)
+	FmtMemLd            // op rd, [rs1+imm]
+	FmtMemSt            // op rs2, [rs1+imm] (source register + address)
+)
+
+// DestKind says which register file, if any, an instruction writes.
+type DestKind uint8
+
+// Destination kinds for fault injection (the paper flips a bit in the
+// destination register of the sampled dynamic instruction) and for
+// Heuristic I (which refills the destination of an elided load).
+const (
+	DestNone DestKind = iota
+	DestInt
+	DestFloat
+)
+
+// Info is the static metadata for one opcode.
+type Info struct {
+	Name string
+	Fmt  Fmt
+	Dest DestKind
+	// Load/Store mark 8-byte data-memory accesses through [rs1+imm].
+	Load  bool
+	Store bool
+	// Stack marks instructions that implicitly address memory through sp
+	// (PUSH/POP/CALL/RET). A corrupted sp makes these fault repeatedly,
+	// which is the scenario Heuristic II repairs.
+	Stack bool
+	// Branch marks PC-modifying instructions (JMP/Bxx/CALL/RET).
+	Branch bool
+	// FloatSrc marks instructions whose rs operands index the float file.
+	FloatSrc bool
+}
+
+var infos = [numOps]Info{
+	NOP:   {Name: "nop", Fmt: FmtNone},
+	HALT:  {Name: "halt", Fmt: FmtNone},
+	ABORT: {Name: "abort", Fmt: FmtNone},
+
+	ADD: {Name: "add", Fmt: FmtRRR, Dest: DestInt},
+	SUB: {Name: "sub", Fmt: FmtRRR, Dest: DestInt},
+	MUL: {Name: "mul", Fmt: FmtRRR, Dest: DestInt},
+	DIV: {Name: "div", Fmt: FmtRRR, Dest: DestInt},
+	REM: {Name: "rem", Fmt: FmtRRR, Dest: DestInt},
+	AND: {Name: "and", Fmt: FmtRRR, Dest: DestInt},
+	OR:  {Name: "or", Fmt: FmtRRR, Dest: DestInt},
+	XOR: {Name: "xor", Fmt: FmtRRR, Dest: DestInt},
+	SHL: {Name: "shl", Fmt: FmtRRR, Dest: DestInt},
+	SHR: {Name: "shr", Fmt: FmtRRR, Dest: DestInt},
+
+	ADDI: {Name: "addi", Fmt: FmtRRI, Dest: DestInt},
+	MULI: {Name: "muli", Fmt: FmtRRI, Dest: DestInt},
+	ANDI: {Name: "andi", Fmt: FmtRRI, Dest: DestInt},
+
+	MOV: {Name: "mov", Fmt: FmtRR, Dest: DestInt},
+	NEG: {Name: "neg", Fmt: FmtRR, Dest: DestInt},
+	NOT: {Name: "not", Fmt: FmtRR, Dest: DestInt},
+	LI:  {Name: "li", Fmt: FmtRI, Dest: DestInt},
+
+	SEQ: {Name: "seq", Fmt: FmtRRR, Dest: DestInt},
+	SNE: {Name: "sne", Fmt: FmtRRR, Dest: DestInt},
+	SLT: {Name: "slt", Fmt: FmtRRR, Dest: DestInt},
+	SLE: {Name: "sle", Fmt: FmtRRR, Dest: DestInt},
+
+	FEQ: {Name: "feq", Fmt: FmtRRR, Dest: DestInt, FloatSrc: true},
+	FNE: {Name: "fne", Fmt: FmtRRR, Dest: DestInt, FloatSrc: true},
+	FLT: {Name: "flt", Fmt: FmtRRR, Dest: DestInt, FloatSrc: true},
+	FLE: {Name: "fle", Fmt: FmtRRR, Dest: DestInt, FloatSrc: true},
+
+	LD:  {Name: "ld", Fmt: FmtMemLd, Dest: DestInt, Load: true},
+	ST:  {Name: "st", Fmt: FmtMemSt, Store: true},
+	FLD: {Name: "fld", Fmt: FmtMemLd, Dest: DestFloat, Load: true},
+	FST: {Name: "fst", Fmt: FmtMemSt, Store: true, FloatSrc: true},
+
+	PUSH: {Name: "push", Fmt: FmtR, Stack: true, Store: true},
+	POP:  {Name: "pop", Fmt: FmtR, Dest: DestInt, Stack: true, Load: true},
+	CALL: {Name: "call", Fmt: FmtI, Stack: true, Store: true, Branch: true},
+	RET:  {Name: "ret", Fmt: FmtNone, Stack: true, Load: true, Branch: true},
+
+	JMP: {Name: "jmp", Fmt: FmtI, Branch: true},
+	BEQ: {Name: "beq", Fmt: FmtRRB, Branch: true},
+	BNE: {Name: "bne", Fmt: FmtRRB, Branch: true},
+	BLT: {Name: "blt", Fmt: FmtRRB, Branch: true},
+	BGE: {Name: "bge", Fmt: FmtRRB, Branch: true},
+
+	FADD: {Name: "fadd", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+	FSUB: {Name: "fsub", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+	FMUL: {Name: "fmul", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+	FDIV: {Name: "fdiv", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+	FMIN: {Name: "fmin", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+	FMAX: {Name: "fmax", Fmt: FmtRRR, Dest: DestFloat, FloatSrc: true},
+
+	FMOV:  {Name: "fmov", Fmt: FmtRR, Dest: DestFloat, FloatSrc: true},
+	FNEG:  {Name: "fneg", Fmt: FmtRR, Dest: DestFloat, FloatSrc: true},
+	FABS:  {Name: "fabs", Fmt: FmtRR, Dest: DestFloat, FloatSrc: true},
+	FSQRT: {Name: "fsqrt", Fmt: FmtRR, Dest: DestFloat, FloatSrc: true},
+
+	FLI: {Name: "fli", Fmt: FmtRI, Dest: DestFloat},
+
+	I2F: {Name: "i2f", Fmt: FmtRR, Dest: DestFloat},
+	F2I: {Name: "f2i", Fmt: FmtRR, Dest: DestInt, FloatSrc: true},
+
+	PRINTI: {Name: "printi", Fmt: FmtR},
+	PRINTF: {Name: "printf", Fmt: FmtR, FloatSrc: true},
+	CYCLES: {Name: "cycles", Fmt: FmtR, Dest: DestInt},
+}
+
+// OpInfo returns the metadata for op. Unknown opcodes report a NOP-like
+// record with an empty name.
+func OpInfo(op Op) Info {
+	if op < numOps {
+		return infos[op]
+	}
+	return Info{Name: fmt.Sprintf("op?%d", op)}
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < numOps }
+
+// String returns the assembly mnemonic for op.
+func (op Op) String() string { return OpInfo(op).Name }
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// OpByName maps a mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

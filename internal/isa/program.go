@@ -1,0 +1,311 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Default memory layout of a loaded program. All values are byte addresses.
+// The stack grows down from StackTop; everything outside the mapped
+// segments faults with SIGSEGV, which is the primary crash mechanism for
+// bit-flipped address registers (a flipped high bit lands far outside any
+// segment).
+const (
+	CodeBase          uint64 = 0x0000_1000
+	GlobalBase        uint64 = 0x0001_0000
+	HeapBase          uint64 = 0x0010_0000
+	StackTop          uint64 = 0x7FFF_F000
+	DefaultStackBytes uint64 = 1 << 20 // 1 MiB
+	DefaultHeapBytes  uint64 = 4 << 20 // 4 MiB
+)
+
+// SymKind distinguishes the kinds of entries in a program symbol table.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota
+	SymGlobal
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("symkind?%d", k)
+}
+
+// Symbol is one named address in a program: a function entry point or a
+// global variable. Size is in bytes (code bytes for functions, data bytes
+// for globals).
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Addr uint64
+	Size uint64
+}
+
+// Program is a loadable program image: code, initialized global data and a
+// symbol table. It is produced by the assembler (internal/asm) or the
+// MiniC compiler (internal/lang) and consumed by the VM loader, the
+// debugger and the PIN-analog static analyzer.
+type Program struct {
+	// Instrs is the code segment; instruction i lives at architectural
+	// address CodeBase + i*InstrBytes.
+	Instrs []Instruction
+	// Entry is the code address execution starts at.
+	Entry uint64
+	// Globals is the byte size of the global data segment (at GlobalBase).
+	Globals uint64
+	// Data holds initialized global data as (address, bytes) spans.
+	Data []DataSpan
+	// Symbols lists functions and globals sorted by address.
+	Symbols []Symbol
+}
+
+// DataSpan is a run of initialized bytes in the global segment.
+type DataSpan struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// CodeEnd returns the first address past the code segment.
+func (p *Program) CodeEnd() uint64 {
+	return CodeBase + uint64(len(p.Instrs))*InstrBytes
+}
+
+// InstrAt returns the instruction at code address addr. The boolean
+// reports whether addr is a valid, aligned code address.
+func (p *Program) InstrAt(addr uint64) (Instruction, bool) {
+	if addr < CodeBase || addr >= p.CodeEnd() || (addr-CodeBase)%InstrBytes != 0 {
+		return Instruction{}, false
+	}
+	return p.Instrs[(addr-CodeBase)/InstrBytes], true
+}
+
+// NextPC returns the address of the instruction that architecturally
+// follows addr in the code layout (not the branch successor). It is the
+// "advance the program counter" primitive LetGo uses to elide a faulting
+// instruction.
+func (p *Program) NextPC(addr uint64) (uint64, bool) {
+	next := addr + InstrBytes
+	if next >= p.CodeEnd() {
+		return 0, false
+	}
+	return next, true
+}
+
+// Symbol returns the symbol with the given name.
+func (p *Program) Symbol(name string) (Symbol, bool) {
+	for _, s := range p.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// FuncAt returns the function symbol containing code address addr, using
+// the sorted symbol table. It is the basis for Heuristic II's "find the
+// beginning of the function the instruction belongs to".
+func (p *Program) FuncAt(addr uint64) (Symbol, bool) {
+	var best Symbol
+	found := false
+	for _, s := range p.Symbols {
+		if s.Kind != SymFunc || s.Addr > addr {
+			continue
+		}
+		if s.Size > 0 && addr >= s.Addr+s.Size {
+			continue
+		}
+		if !found || s.Addr > best.Addr {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// SortSymbols orders the symbol table by address then name; loaders and
+// analyzers rely on this order.
+func (p *Program) SortSymbols() {
+	sort.Slice(p.Symbols, func(i, j int) bool {
+		if p.Symbols[i].Addr != p.Symbols[j].Addr {
+			return p.Symbols[i].Addr < p.Symbols[j].Addr
+		}
+		return p.Symbols[i].Name < p.Symbols[j].Name
+	})
+}
+
+// Validate performs structural checks on the program image.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	if p.Entry < CodeBase || p.Entry >= p.CodeEnd() || (p.Entry-CodeBase)%InstrBytes != 0 {
+		return fmt.Errorf("isa: entry point 0x%x outside code [0x%x,0x%x)", p.Entry, CodeBase, p.CodeEnd())
+	}
+	for i, in := range p.Instrs {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	for _, d := range p.Data {
+		if d.Addr < GlobalBase || d.Addr+uint64(len(d.Bytes)) > GlobalBase+p.Globals {
+			return fmt.Errorf("isa: data span [0x%x,0x%x) outside globals", d.Addr, d.Addr+uint64(len(d.Bytes)))
+		}
+	}
+	return nil
+}
+
+// Object-file format:
+//
+//	magic "LGO1" | entry u64 | globals u64 |
+//	ninstr u32 | ninstr * 16-byte instructions |
+//	ndata u32  | ndata * (addr u64, len u32, bytes) |
+//	nsym u32   | nsym  * (kind u8, addr u64, size u64, namelen u16, name)
+var objMagic = []byte("LGO1")
+
+// MarshalBinary serializes the program in the object-file format.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(objMagic)
+	le := binary.LittleEndian
+	var u64 [8]byte
+	var u32 [4]byte
+	var u16b [2]byte
+	putU64 := func(v uint64) { le.PutUint64(u64[:], v); buf.Write(u64[:]) }
+	putU32 := func(v uint32) { le.PutUint32(u32[:], v); buf.Write(u32[:]) }
+	putU16 := func(v uint16) { le.PutUint16(u16b[:], v); buf.Write(u16b[:]) }
+
+	putU64(p.Entry)
+	putU64(p.Globals)
+	putU32(uint32(len(p.Instrs)))
+	enc := make([]byte, 0, EncodedBytes)
+	for _, in := range p.Instrs {
+		enc = in.Encode(enc[:0])
+		buf.Write(enc)
+	}
+	putU32(uint32(len(p.Data)))
+	for _, d := range p.Data {
+		putU64(d.Addr)
+		putU32(uint32(len(d.Bytes)))
+		buf.Write(d.Bytes)
+	}
+	putU32(uint32(len(p.Symbols)))
+	for _, s := range p.Symbols {
+		buf.WriteByte(byte(s.Kind))
+		putU64(s.Addr)
+		putU64(s.Size)
+		putU16(uint16(len(s.Name)))
+		buf.WriteString(s.Name)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary parses the object-file format.
+func (p *Program) UnmarshalBinary(b []byte) error {
+	r := bytes.NewReader(b)
+	magic := make([]byte, len(objMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, objMagic) {
+		return fmt.Errorf("isa: bad object magic")
+	}
+	le := binary.LittleEndian
+	readU64 := func() (uint64, error) {
+		var v [8]byte
+		if _, err := io.ReadFull(r, v[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(v[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var v [4]byte
+		if _, err := io.ReadFull(r, v[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(v[:]), nil
+	}
+	readU16 := func() (uint16, error) {
+		var v [2]byte
+		if _, err := io.ReadFull(r, v[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint16(v[:]), nil
+	}
+
+	var err error
+	if p.Entry, err = readU64(); err != nil {
+		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	if p.Globals, err = readU64(); err != nil {
+		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	n, err := readU32()
+	if err != nil {
+		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	p.Instrs = make([]Instruction, n)
+	ib := make([]byte, EncodedBytes)
+	for i := range p.Instrs {
+		if _, err := io.ReadFull(r, ib); err != nil {
+			return fmt.Errorf("isa: truncated code: %w", err)
+		}
+		if p.Instrs[i], err = DecodeInstruction(ib); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	nd, err := readU32()
+	if err != nil {
+		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	p.Data = make([]DataSpan, nd)
+	for i := range p.Data {
+		if p.Data[i].Addr, err = readU64(); err != nil {
+			return fmt.Errorf("isa: truncated data: %w", err)
+		}
+		ln, err := readU32()
+		if err != nil {
+			return fmt.Errorf("isa: truncated data: %w", err)
+		}
+		p.Data[i].Bytes = make([]byte, ln)
+		if _, err := io.ReadFull(r, p.Data[i].Bytes); err != nil {
+			return fmt.Errorf("isa: truncated data: %w", err)
+		}
+	}
+	ns, err := readU32()
+	if err != nil {
+		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	p.Symbols = make([]Symbol, ns)
+	for i := range p.Symbols {
+		kind := make([]byte, 1)
+		if _, err := io.ReadFull(r, kind); err != nil {
+			return fmt.Errorf("isa: truncated symbols: %w", err)
+		}
+		p.Symbols[i].Kind = SymKind(kind[0])
+		if p.Symbols[i].Addr, err = readU64(); err != nil {
+			return fmt.Errorf("isa: truncated symbols: %w", err)
+		}
+		if p.Symbols[i].Size, err = readU64(); err != nil {
+			return fmt.Errorf("isa: truncated symbols: %w", err)
+		}
+		nl, err := readU16()
+		if err != nil {
+			return fmt.Errorf("isa: truncated symbols: %w", err)
+		}
+		name := make([]byte, nl)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return fmt.Errorf("isa: truncated symbols: %w", err)
+		}
+		p.Symbols[i].Name = string(name)
+	}
+	return p.Validate()
+}

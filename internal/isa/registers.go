@@ -1,0 +1,110 @@
+// Package isa defines the instruction-set architecture of the simulated
+// machine: registers, opcodes, instruction encoding, and disassembly.
+//
+// The ISA is a 64-bit load/store architecture with an x86-64-style stack
+// discipline: CALL pushes the return address on the stack, RET pops it, and
+// compiled functions use the frame-pointer prologue of the paper's Listing 1
+// (PUSH bp; MOV bp, sp; ADDI sp, sp, -frame). This is what makes corrupted
+// sp/bp registers produce the cascading memory-violation behaviour that
+// LetGo's Heuristic II targets.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFloatRegs size the two register files.
+const (
+	NumIntRegs   = 16
+	NumFloatRegs = 16
+)
+
+// Reg identifies a register in either register file; opcode metadata
+// determines which file an operand refers to.
+type Reg uint8
+
+// Integer register names. X0..X13 are general purpose; by software
+// convention X0 holds integer return values and X1..X6 carry integer
+// arguments. BP and SP are the frame and stack pointers targeted by
+// LetGo's Heuristic II.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	BP // frame (base) pointer
+	SP // stack pointer
+)
+
+// Float register names. F0 holds float return values; F1..F6 carry float
+// arguments.
+const (
+	F0 Reg = iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+)
+
+var intRegNames = [NumIntRegs]string{
+	"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7",
+	"x8", "x9", "x10", "x11", "x12", "x13", "bp", "sp",
+}
+
+// IntRegName returns the assembly name of integer register r.
+func IntRegName(r Reg) string {
+	if int(r) < len(intRegNames) {
+		return intRegNames[r]
+	}
+	return fmt.Sprintf("x?%d", r)
+}
+
+// FloatRegName returns the assembly name of float register r.
+func FloatRegName(r Reg) string {
+	if r < NumFloatRegs {
+		return fmt.Sprintf("f%d", r)
+	}
+	return fmt.Sprintf("f?%d", r)
+}
+
+// IntRegByName maps an assembly name ("x3", "bp", "sp") to its register
+// index. The boolean reports whether the name is a valid integer register.
+func IntRegByName(name string) (Reg, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// FloatRegByName maps an assembly name ("f7") to its register index.
+func FloatRegByName(name string) (Reg, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "f%d", &i); err != nil || i < 0 || i >= NumFloatRegs {
+		return 0, false
+	}
+	if name != fmt.Sprintf("f%d", i) {
+		return 0, false
+	}
+	return Reg(i), true
+}

@@ -1,0 +1,201 @@
+package lang
+
+// Type is a MiniC type: Int and Float are 64-bit scalars; arrays exist
+// only as global variables of element type Int or Float.
+type Type uint8
+
+// Types.
+const (
+	TVoid Type = iota
+	TInt
+	TFloat
+)
+
+func (t Type) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	}
+	return "type?"
+}
+
+// Node positions reference source lines for diagnostics.
+type pos struct {
+	Line int
+	Col  int
+}
+
+// Program is the parsed compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable. ArrayLen == 0 means scalar.
+// Init is non-nil only for scalars with a literal initializer (globals) or
+// an arbitrary expression (locals).
+type VarDecl struct {
+	pos
+	Name     string
+	Type     Type
+	ArrayLen int64
+	Init     Expr
+	// ArrayInit holds global-array element initializers (literals after
+	// constant folding); shorter lists zero-fill the remainder.
+	ArrayInit []Expr
+}
+
+// FuncDecl declares a function. Ret == TVoid for procedures.
+type FuncDecl struct {
+	pos
+	Name   string
+	Params []*VarDecl
+	Ret    Type
+	Body   *Block
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own local scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	pos
+	Name  string
+	Index Expr // nil for scalar targets
+	Value Expr
+}
+
+// IfStmt is if/else; Else may be nil, a *Block, or another *IfStmt.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is for(init; cond; post) with each part optional.
+type ForStmt struct {
+	pos
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Body *Block
+}
+
+// ReturnStmt returns from the function, with an optional value.
+type ReturnStmt struct {
+	pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ pos }
+
+// ExprStmt evaluates an expression for effect (must be a call).
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+func (*Block) stmtNode()        {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node; the checker fills in typ.
+type Expr interface {
+	exprNode()
+	Type() Type
+}
+
+type exprType struct{ typ Type }
+
+func (e *exprType) Type() Type { return e.typ }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	exprType
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	pos
+	exprType
+	Value float64
+}
+
+// VarRef references a scalar variable.
+type VarRef struct {
+	pos
+	exprType
+	Name string
+}
+
+// IndexExpr references a global array element.
+type IndexExpr struct {
+	pos
+	exprType
+	Name  string
+	Index Expr
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	pos
+	exprType
+	Op   Kind
+	L, R Expr
+}
+
+// UnaryExpr applies '-' or '!'.
+type UnaryExpr struct {
+	pos
+	exprType
+	Op Kind
+	X  Expr
+}
+
+// CallExpr calls a user function or a builtin (sqrt, fabs, fmin, fmax,
+// print, cycles, abort, assert) or performs a cast (int(x), float(x)).
+type CallExpr struct {
+	pos
+	exprType
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}

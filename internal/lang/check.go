@@ -1,0 +1,481 @@
+package lang
+
+import "fmt"
+
+// builtin describes a MiniC builtin callable.
+type builtin struct {
+	params []Type
+	ret    Type
+}
+
+// builtins available to every program. "int" and "float" are casts and
+// accept either scalar type; they are special-cased in checkCall.
+var builtins = map[string]builtin{
+	"sqrt":   {params: []Type{TFloat}, ret: TFloat},
+	"fabs":   {params: []Type{TFloat}, ret: TFloat},
+	"fmin":   {params: []Type{TFloat, TFloat}, ret: TFloat},
+	"fmax":   {params: []Type{TFloat, TFloat}, ret: TFloat},
+	"cycles": {params: nil, ret: TInt},
+	"abort":  {params: nil, ret: TVoid},
+	// print and assert are polymorphic/special-cased below.
+}
+
+type checker struct {
+	globals   map[string]*VarDecl
+	funcs     map[string]*FuncDecl
+	scopes    []map[string]*VarDecl
+	curFn     *FuncDecl
+	loopDepth int
+}
+
+// Check type-checks the program in place, annotating expression types.
+func Check(prog *Program) error {
+	c := &checker{
+		globals: map[string]*VarDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return cerrf(g.Line, g.Col, "global %q redeclared", g.Name)
+		}
+		if g.Init != nil {
+			if err := c.checkGlobalInit(g); err != nil {
+				return err
+			}
+		}
+		for i, e := range g.ArrayInit {
+			t, err := c.checkExpr(e)
+			if err != nil {
+				return err
+			}
+			if t != g.Type {
+				return cerrf(g.Line, g.Col, "array %q element %d: %v initializer for %v array", g.Name, i, t, g.Type)
+			}
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return cerrf(f.Line, f.Col, "function %q redeclared", f.Name)
+		}
+		if _, dup := c.globals[f.Name]; dup {
+			return cerrf(f.Line, f.Col, "function %q collides with a global", f.Name)
+		}
+		if _, isBuiltin := builtins[f.Name]; isBuiltin || f.Name == "print" || f.Name == "assert" || f.Name == "int" || f.Name == "float" {
+			return cerrf(f.Line, f.Col, "function %q shadows a builtin", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return cerrf(1, 1, "program has no main function")
+	}
+	if len(main.Params) != 0 || main.Ret != TVoid {
+		return cerrf(main.Line, main.Col, "main must take no parameters and return nothing")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkGlobalInit restricts global initializers to (possibly negated)
+// literals, since they become data-segment directives.
+func (c *checker) checkGlobalInit(g *VarDecl) error {
+	lit := g.Init
+	if u, ok := lit.(*UnaryExpr); ok && u.Op == MINUS {
+		lit = u.X
+	}
+	switch l := lit.(type) {
+	case *IntLit:
+		if g.Type != TInt {
+			return cerrf(g.Line, g.Col, "global %q: int literal initializes %v", g.Name, g.Type)
+		}
+		l.typ = TInt
+	case *FloatLit:
+		if g.Type != TFloat {
+			return cerrf(g.Line, g.Col, "global %q: float literal initializes %v", g.Name, g.Type)
+		}
+		l.typ = TFloat
+	default:
+		return cerrf(g.Line, g.Col, "global %q: initializer must be a literal", g.Name)
+	}
+	if u, ok := g.Init.(*UnaryExpr); ok {
+		u.typ = g.Type
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*VarDecl{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) declare(d *VarDecl) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		return cerrf(d.Line, d.Col, "%q redeclared in this scope", d.Name)
+	}
+	top[d.Name] = d
+	return nil
+}
+
+// lookup finds a scalar variable: innermost scope first, then globals.
+func (c *checker) lookup(name string) (*VarDecl, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d, true
+		}
+	}
+	d, ok := c.globals[name]
+	return d, ok
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.curFn = f
+	c.push()
+	defer c.pop()
+	for _, p := range f.Params {
+		if err := c.declare(p); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	if f.Ret != TVoid && !terminates(f.Body) {
+		return cerrf(f.Line, f.Col, "function %q must end with a return statement", f.Name)
+	}
+	return nil
+}
+
+// terminates reports whether a statement definitely returns on every path,
+// by structural analysis: a return, a block whose last statement
+// terminates, or an if/else whose branches both terminate.
+func terminates(s Stmt) bool {
+	switch st := s.(type) {
+	case *ReturnStmt:
+		return true
+	case *Block:
+		return len(st.Stmts) > 0 && terminates(st.Stmts[len(st.Stmts)-1])
+	case *IfStmt:
+		return st.Else != nil && terminates(st.Then) && terminates(st.Else)
+	}
+	return false
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.ArrayLen > 0 {
+			return cerrf(st.Line, st.Col, "arrays are global-only")
+		}
+		if st.Init != nil {
+			t, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if t != st.Type {
+				return cerrf(st.Line, st.Col, "cannot initialize %v %q with %v", st.Type, st.Name, t)
+			}
+		}
+		return c.declare(st)
+	case *AssignStmt:
+		return c.checkAssign(st)
+	case *IfStmt:
+		t, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return cerrf(st.Line, st.Col, "if condition must be int, got %v", t)
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		t, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return cerrf(st.Line, st.Col, "while condition must be int, got %v", t)
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkAssign(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			t, err := c.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return cerrf(st.Line, st.Col, "for condition must be int, got %v", t)
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkAssign(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		if c.curFn.Ret == TVoid {
+			if st.Value != nil {
+				return cerrf(st.Line, st.Col, "%q returns no value", c.curFn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return cerrf(st.Line, st.Col, "%q must return %v", c.curFn.Name, c.curFn.Ret)
+		}
+		t, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if t != c.curFn.Ret {
+			return cerrf(st.Line, st.Col, "return type %v, want %v", t, c.curFn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return cerrf(st.Line, st.Col, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return cerrf(st.Line, st.Col, "continue outside a loop")
+		}
+		return nil
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return cerrf(st.Line, st.Col, "expression statement must be a call")
+		}
+		_, err := c.checkExpr(call)
+		return err
+	case *Block:
+		return c.checkBlock(st)
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkAssign(st *AssignStmt) error {
+	vt, err := c.checkExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Index != nil {
+		g, ok := c.globals[st.Name]
+		if !ok || g.ArrayLen == 0 {
+			return cerrf(st.Line, st.Col, "%q is not a global array", st.Name)
+		}
+		it, err := c.checkExpr(st.Index)
+		if err != nil {
+			return err
+		}
+		if it != TInt {
+			return cerrf(st.Line, st.Col, "array index must be int, got %v", it)
+		}
+		if vt != g.Type {
+			return cerrf(st.Line, st.Col, "cannot assign %v to %v array %q", vt, g.Type, st.Name)
+		}
+		return nil
+	}
+	d, ok := c.lookup(st.Name)
+	if !ok {
+		return cerrf(st.Line, st.Col, "undefined variable %q", st.Name)
+	}
+	if d.ArrayLen > 0 {
+		return cerrf(st.Line, st.Col, "cannot assign to array %q without an index", st.Name)
+	}
+	if vt != d.Type {
+		return cerrf(st.Line, st.Col, "cannot assign %v to %v %q", vt, d.Type, st.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.typ = TInt
+		return TInt, nil
+	case *FloatLit:
+		x.typ = TFloat
+		return TFloat, nil
+	case *VarRef:
+		d, ok := c.lookup(x.Name)
+		if !ok {
+			return TVoid, cerrf(x.Line, x.Col, "undefined variable %q", x.Name)
+		}
+		if d.ArrayLen > 0 {
+			return TVoid, cerrf(x.Line, x.Col, "array %q used without an index", x.Name)
+		}
+		x.typ = d.Type
+		return d.Type, nil
+	case *IndexExpr:
+		g, ok := c.globals[x.Name]
+		if !ok || g.ArrayLen == 0 {
+			return TVoid, cerrf(x.Line, x.Col, "%q is not a global array", x.Name)
+		}
+		it, err := c.checkExpr(x.Index)
+		if err != nil {
+			return TVoid, err
+		}
+		if it != TInt {
+			return TVoid, cerrf(x.Line, x.Col, "array index must be int, got %v", it)
+		}
+		x.typ = g.Type
+		return g.Type, nil
+	case *UnaryExpr:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return TVoid, err
+		}
+		switch x.Op {
+		case MINUS:
+			if t != TInt && t != TFloat {
+				return TVoid, cerrf(x.Line, x.Col, "cannot negate %v", t)
+			}
+			x.typ = t
+			return t, nil
+		case NOT:
+			if t != TInt {
+				return TVoid, cerrf(x.Line, x.Col, "'!' wants int, got %v", t)
+			}
+			x.typ = TInt
+			return TInt, nil
+		}
+		return TVoid, cerrf(x.Line, x.Col, "bad unary operator")
+	case *BinaryExpr:
+		lt, err := c.checkExpr(x.L)
+		if err != nil {
+			return TVoid, err
+		}
+		rt, err := c.checkExpr(x.R)
+		if err != nil {
+			return TVoid, err
+		}
+		if lt != rt {
+			return TVoid, cerrf(x.Line, x.Col, "operand types differ: %v vs %v", lt, rt)
+		}
+		switch x.Op {
+		case PLUS, MINUS, STAR, SLASH:
+			if lt != TInt && lt != TFloat {
+				return TVoid, cerrf(x.Line, x.Col, "arithmetic on %v", lt)
+			}
+			x.typ = lt
+			return lt, nil
+		case PERCENT:
+			if lt != TInt {
+				return TVoid, cerrf(x.Line, x.Col, "'%%' wants int operands, got %v", lt)
+			}
+			x.typ = TInt
+			return TInt, nil
+		case EQ, NE, LT, LE, GT, GE:
+			if lt != TInt && lt != TFloat {
+				return TVoid, cerrf(x.Line, x.Col, "comparison on %v", lt)
+			}
+			x.typ = TInt
+			return TInt, nil
+		case AND, OR:
+			if lt != TInt {
+				return TVoid, cerrf(x.Line, x.Col, "logical operator wants int, got %v", lt)
+			}
+			x.typ = TInt
+			return TInt, nil
+		}
+		return TVoid, cerrf(x.Line, x.Col, "bad binary operator")
+	case *CallExpr:
+		return c.checkCall(x)
+	}
+	return TVoid, fmt.Errorf("minic: unknown expression %T", e)
+}
+
+func (c *checker) checkCall(x *CallExpr) (Type, error) {
+	argTypes := make([]Type, len(x.Args))
+	for i, a := range x.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return TVoid, err
+		}
+		argTypes[i] = t
+	}
+	// Casts.
+	if x.Name == "int" || x.Name == "float" {
+		if len(x.Args) != 1 || (argTypes[0] != TInt && argTypes[0] != TFloat) {
+			return TVoid, cerrf(x.Line, x.Col, "cast %s() wants one scalar argument", x.Name)
+		}
+		if x.Name == "int" {
+			x.typ = TInt
+		} else {
+			x.typ = TFloat
+		}
+		return x.typ, nil
+	}
+	// Polymorphic builtins.
+	if x.Name == "print" {
+		if len(x.Args) != 1 || (argTypes[0] != TInt && argTypes[0] != TFloat) {
+			return TVoid, cerrf(x.Line, x.Col, "print wants one scalar argument")
+		}
+		x.typ = TVoid
+		return TVoid, nil
+	}
+	if x.Name == "assert" {
+		if len(x.Args) != 1 || argTypes[0] != TInt {
+			return TVoid, cerrf(x.Line, x.Col, "assert wants one int argument")
+		}
+		x.typ = TVoid
+		return TVoid, nil
+	}
+	if b, ok := builtins[x.Name]; ok {
+		if len(x.Args) != len(b.params) {
+			return TVoid, cerrf(x.Line, x.Col, "%s wants %d arguments, got %d", x.Name, len(b.params), len(x.Args))
+		}
+		for i, want := range b.params {
+			if argTypes[i] != want {
+				return TVoid, cerrf(x.Line, x.Col, "%s argument %d: want %v, got %v", x.Name, i+1, want, argTypes[i])
+			}
+		}
+		x.typ = b.ret
+		return b.ret, nil
+	}
+	f, ok := c.funcs[x.Name]
+	if !ok {
+		return TVoid, cerrf(x.Line, x.Col, "undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(f.Params) {
+		return TVoid, cerrf(x.Line, x.Col, "%s wants %d arguments, got %d", x.Name, len(f.Params), len(x.Args))
+	}
+	for i, p := range f.Params {
+		if argTypes[i] != p.Type {
+			return TVoid, cerrf(x.Line, x.Col, "%s argument %d (%s): want %v, got %v", x.Name, i+1, p.Name, p.Type, argTypes[i])
+		}
+	}
+	x.typ = f.Ret
+	return f.Ret, nil
+}

@@ -1,0 +1,259 @@
+package lang
+
+import "math"
+
+// Fold performs constant folding on a checked program: expression
+// subtrees whose operands are literals are evaluated at compile time,
+// including arithmetic, comparisons, logical operators, casts and the
+// pure math builtins. Folding runs after type checking (it relies on the
+// annotated types) and before code generation.
+//
+// Division by a zero literal is deliberately left unfolded: it must keep
+// its run-time trap semantics (SIGFPE).
+func Fold(prog *Program) {
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			g.Init = foldExpr(g.Init)
+		}
+		for i := range g.ArrayInit {
+			g.ArrayInit[i] = foldExpr(g.ArrayInit[i])
+		}
+	}
+	for _, f := range prog.Funcs {
+		foldBlock(f.Body)
+	}
+}
+
+func foldBlock(b *Block) {
+	for _, s := range b.Stmts {
+		foldStmt(s)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+	case *AssignStmt:
+		if st.Index != nil {
+			st.Index = foldExpr(st.Index)
+		}
+		st.Value = foldExpr(st.Value)
+	case *IfStmt:
+		st.Cond = foldExpr(st.Cond)
+		foldBlock(st.Then)
+		if st.Else != nil {
+			foldStmt(st.Else)
+		}
+	case *WhileStmt:
+		st.Cond = foldExpr(st.Cond)
+		foldBlock(st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			foldStmt(st.Post)
+		}
+		foldBlock(st.Body)
+	case *ReturnStmt:
+		if st.Value != nil {
+			st.Value = foldExpr(st.Value)
+		}
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+	case *Block:
+		foldBlock(st)
+	}
+}
+
+func intLit(p pos, v int64) *IntLit {
+	l := &IntLit{pos: p, Value: v}
+	l.typ = TInt
+	return l
+}
+
+func floatLit(p pos, v float64) *FloatLit {
+	l := &FloatLit{pos: p, Value: v}
+	l.typ = TFloat
+	return l
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		x.X = foldExpr(x.X)
+		switch v := x.X.(type) {
+		case *IntLit:
+			if x.Op == MINUS {
+				return intLit(x.pos, -v.Value)
+			}
+			return intLit(x.pos, b2i(v.Value == 0))
+		case *FloatLit:
+			if x.Op == MINUS {
+				return floatLit(x.pos, -v.Value)
+			}
+		}
+		return x
+
+	case *BinaryExpr:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		if li, ok := x.L.(*IntLit); ok {
+			if ri, ok := x.R.(*IntLit); ok {
+				return foldIntBinary(x, li.Value, ri.Value)
+			}
+		}
+		if lf, ok := x.L.(*FloatLit); ok {
+			if rf, ok := x.R.(*FloatLit); ok {
+				return foldFloatBinary(x, lf.Value, rf.Value)
+			}
+		}
+		return x
+
+	case *IndexExpr:
+		x.Index = foldExpr(x.Index)
+		return x
+
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = foldExpr(x.Args[i])
+		}
+		return foldCall(x)
+	}
+	return e
+}
+
+func foldIntBinary(x *BinaryExpr, l, r int64) Expr {
+	switch x.Op {
+	case PLUS:
+		return intLit(x.pos, l+r)
+	case MINUS:
+		return intLit(x.pos, l-r)
+	case STAR:
+		return intLit(x.pos, l*r)
+	case SLASH:
+		if r == 0 {
+			return x // keep the run-time SIGFPE
+		}
+		return intLit(x.pos, l/r)
+	case PERCENT:
+		if r == 0 {
+			return x
+		}
+		return intLit(x.pos, l%r)
+	case EQ:
+		return intLit(x.pos, b2i(l == r))
+	case NE:
+		return intLit(x.pos, b2i(l != r))
+	case LT:
+		return intLit(x.pos, b2i(l < r))
+	case LE:
+		return intLit(x.pos, b2i(l <= r))
+	case GT:
+		return intLit(x.pos, b2i(l > r))
+	case GE:
+		return intLit(x.pos, b2i(l >= r))
+	case AND:
+		return intLit(x.pos, b2i(l != 0 && r != 0))
+	case OR:
+		return intLit(x.pos, b2i(l != 0 || r != 0))
+	}
+	return x
+}
+
+func foldFloatBinary(x *BinaryExpr, l, r float64) Expr {
+	switch x.Op {
+	case PLUS:
+		return floatLit(x.pos, l+r)
+	case MINUS:
+		return floatLit(x.pos, l-r)
+	case STAR:
+		return floatLit(x.pos, l*r)
+	case SLASH:
+		return floatLit(x.pos, l/r) // IEEE semantics: folding matches run time
+	case EQ:
+		return intLit(x.pos, b2i(l == r))
+	case NE:
+		return intLit(x.pos, b2i(l != r))
+	case LT:
+		return intLit(x.pos, b2i(l < r))
+	case LE:
+		return intLit(x.pos, b2i(l <= r))
+	case GT:
+		return intLit(x.pos, b2i(l > r))
+	case GE:
+		return intLit(x.pos, b2i(l >= r))
+	}
+	return x
+}
+
+// foldCall folds casts and pure float builtins over literal arguments.
+func foldCall(x *CallExpr) Expr {
+	arg := func(i int) (float64, bool) {
+		f, ok := x.Args[i].(*FloatLit)
+		if !ok {
+			return 0, false
+		}
+		return f.Value, true
+	}
+	switch x.Name {
+	case "int":
+		switch v := x.Args[0].(type) {
+		case *IntLit:
+			return v
+		case *FloatLit:
+			// Match the VM's f2i: truncation with saturation, NaN -> 0.
+			switch {
+			case math.IsNaN(v.Value):
+				return intLit(x.pos, 0)
+			case v.Value >= math.MaxInt64:
+				return intLit(x.pos, math.MaxInt64)
+			case v.Value <= math.MinInt64:
+				return intLit(x.pos, math.MinInt64)
+			default:
+				return intLit(x.pos, int64(v.Value))
+			}
+		}
+	case "float":
+		switch v := x.Args[0].(type) {
+		case *FloatLit:
+			return v
+		case *IntLit:
+			return floatLit(x.pos, float64(v.Value))
+		}
+	case "sqrt":
+		if v, ok := arg(0); ok {
+			return floatLit(x.pos, math.Sqrt(v))
+		}
+	case "fabs":
+		if v, ok := arg(0); ok {
+			return floatLit(x.pos, math.Abs(v))
+		}
+	case "fmin":
+		if a, ok := arg(0); ok {
+			if b, ok := arg(1); ok {
+				return floatLit(x.pos, math.Min(a, b))
+			}
+		}
+	case "fmax":
+		if a, ok := arg(0); ok {
+			if b, ok := arg(1); ok {
+				return floatLit(x.pos, math.Max(a, b))
+			}
+		}
+	}
+	return x
+}

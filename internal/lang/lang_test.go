@@ -1,0 +1,638 @@
+package lang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// runMiniC compiles and runs a program, returning the machine for state
+// inspection and the collected print output.
+func runMiniC(t *testing.T, src string) (*vm.Machine, string) {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out strings.Builder
+	m, err := vm.New(p, vm.Config{Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, out.String()
+}
+
+func globalFloat(t *testing.T, m *vm.Machine, name string) float64 {
+	t.Helper()
+	v, err := m.ReadGlobalFloat(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func globalInt(t *testing.T, m *vm.Machine, name string) int64 {
+	t.Helper()
+	v, err := m.ReadGlobalInt(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmeticAndGlobals(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var result int;
+		var fresult float;
+		func main() {
+			result = (3 + 4) * 5 - 10 / 2;
+			fresult = (1.5 + 2.5) * 0.25;
+		}
+	`)
+	if got := globalInt(t, m, "result"); got != 30 {
+		t.Errorf("result = %d, want 30", got)
+	}
+	if got := globalFloat(t, m, "fresult"); got != 1.0 {
+		t.Errorf("fresult = %v, want 1", got)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var a int = 42;
+		var b float = -2.5;
+		var c int = -7;
+		var touched int;
+		func main() { touched = 1; }
+	`)
+	if globalInt(t, m, "a") != 42 || globalFloat(t, m, "b") != -2.5 || globalInt(t, m, "c") != -7 {
+		t.Error("global initializers wrong")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var evens int;
+		var odds int;
+		var sum int;
+		func main() {
+			var i int;
+			for (i = 0; i < 10; i = i + 1) {
+				if (i % 2 == 0) {
+					evens = evens + 1;
+				} else {
+					odds = odds + 1;
+				}
+			}
+			var j int;
+			j = 0;
+			while (j < 5) {
+				sum = sum + j;
+				j = j + 1;
+			}
+		}
+	`)
+	if globalInt(t, m, "evens") != 5 || globalInt(t, m, "odds") != 5 {
+		t.Errorf("evens/odds = %d/%d", globalInt(t, m, "evens"), globalInt(t, m, "odds"))
+	}
+	if globalInt(t, m, "sum") != 10 {
+		t.Errorf("sum = %d", globalInt(t, m, "sum"))
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var r int;
+		func classify(x int) int {
+			if (x < 0) { return 0 - 1; }
+			else if (x == 0) { return 0; }
+			else { return 1; }
+		}
+		func main() {
+			r = classify(0-5) * 100 + classify(0) * 10 + classify(9);
+		}
+	`)
+	if got := globalInt(t, m, "r"); got != -100+0+1 {
+		t.Errorf("r = %d, want -99", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var result int;
+		func fib(n int) int {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() { result = fib(15); }
+	`)
+	if got := globalInt(t, m, "result"); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestFloatParamsAndMixedArgs(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var out float;
+		func axpy(a float, x float, n int, y float) float {
+			var acc float;
+			var i int;
+			for (i = 0; i < n; i = i + 1) {
+				acc = acc + a * x + y;
+			}
+			return acc;
+		}
+		func main() { out = axpy(2.0, 3.0, 4, 1.5); }
+	`)
+	if got := globalFloat(t, m, "out"); got != 30 {
+		t.Errorf("out = %v, want 30", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var grid [100] float;
+		var idx [10] int;
+		var total float;
+		var itotal int;
+		func main() {
+			var i int;
+			for (i = 0; i < 100; i = i + 1) {
+				grid[i] = float(i) * 0.5;
+			}
+			for (i = 0; i < 10; i = i + 1) {
+				idx[i] = i * i;
+			}
+			for (i = 0; i < 100; i = i + 1) {
+				total = total + grid[i];
+			}
+			for (i = 0; i < 10; i = i + 1) {
+				itotal = itotal + idx[i];
+			}
+		}
+	`)
+	if got := globalFloat(t, m, "total"); got != 2475 {
+		t.Errorf("total = %v, want 2475", got)
+	}
+	if got := globalInt(t, m, "itotal"); got != 285 {
+		t.Errorf("itotal = %d, want 285", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var a float;
+		var b float;
+		var c float;
+		var d float;
+		var e int;
+		func main() {
+			a = sqrt(16.0);
+			b = fabs(0.0 - 3.5);
+			c = fmin(2.0, -1.0);
+			d = fmax(2.0, -1.0);
+			e = int(3.99) + int(cycles() > 0);
+		}
+	`)
+	if globalFloat(t, m, "a") != 4 || globalFloat(t, m, "b") != 3.5 {
+		t.Error("sqrt/fabs wrong")
+	}
+	if globalFloat(t, m, "c") != -1 || globalFloat(t, m, "d") != 2 {
+		t.Error("fmin/fmax wrong")
+	}
+	if globalInt(t, m, "e") != 4 {
+		t.Errorf("e = %d, want 4", globalInt(t, m, "e"))
+	}
+}
+
+func TestPrint(t *testing.T) {
+	_, out := runMiniC(t, `
+		func main() {
+			print(42);
+			print(2.5);
+		}
+	`)
+	if out != "42\n2.5\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var r int;
+		func main() {
+			var a int; var b int;
+			a = 3; b = 0;
+			r = (a > 0 && b == 0) * 100 + (a < 0 || b != 0) * 10 + !b;
+		}
+	`)
+	if got := globalInt(t, m, "r"); got != 101 {
+		t.Errorf("r = %d, want 101", got)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var r int;
+		func main() {
+			var x float; var y float;
+			x = 1.5; y = 2.5;
+			r = (x < y) * 1 + (x <= y) * 2 + (x > y) * 4 + (x >= y) * 8
+			  + (x == y) * 16 + (x != y) * 32;
+			r = r * 100;
+			var i int; var j int;
+			i = 7; j = 7;
+			r = r + (i < j) * 1 + (i <= j) * 2 + (i > j) * 4 + (i >= j) * 8
+			  + (i == j) * 16 + (i != j) * 32;
+		}
+	`)
+	// floats: 1+2+32 = 35; ints: 2+8+16 = 26.
+	if got := globalInt(t, m, "r"); got != 3526 {
+		t.Errorf("r = %d, want 3526", got)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var fi float;
+		var ifl int;
+		func main() {
+			fi = float(7) / 2.0;
+			ifl = int(0.0 - 9.7);
+		}
+	`)
+	if globalFloat(t, m, "fi") != 3.5 {
+		t.Errorf("fi = %v", globalFloat(t, m, "fi"))
+	}
+	if globalInt(t, m, "ifl") != -9 {
+		t.Errorf("ifl = %d, want -9 (trunc toward zero)", globalInt(t, m, "ifl"))
+	}
+}
+
+func TestAssertPassesAndFails(t *testing.T) {
+	runMiniC(t, `func main() { assert(1 == 1); }`)
+
+	p, err := Compile(`func main() { assert(2 < 1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run(100000)
+	trap, ok := runErr.(*vm.Trap)
+	if !ok || trap.Signal != vm.SIGABRT {
+		t.Fatalf("err = %v, want SIGABRT", runErr)
+	}
+}
+
+func TestNestedCallsSpillTemps(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var r int;
+		var rf float;
+		func id(x int) int { return x; }
+		func fid(x float) float { return x; }
+		func main() {
+			r = 1000 + id(100 + id(10 + id(1)));
+			rf = 0.5 + fid(0.25 + fid(0.125));
+		}
+	`)
+	if got := globalInt(t, m, "r"); got != 1111 {
+		t.Errorf("r = %d, want 1111", got)
+	}
+	if got := globalFloat(t, m, "rf"); got != 0.875 {
+		t.Errorf("rf = %v, want 0.875", got)
+	}
+}
+
+func TestShadowingScopes(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var x int = 5;
+		var r int;
+		func main() {
+			var x int;
+			x = 10;
+			{
+				var x int;
+				x = 20;
+				r = r + x;
+			}
+			r = r + x;
+		}
+	`)
+	if got := globalInt(t, m, "r"); got != 30 {
+		t.Errorf("r = %d, want 30 (20 inner + 10 middle)", got)
+	}
+	if got := globalInt(t, m, "x"); got != 5 {
+		t.Errorf("global x = %d, want untouched 5", got)
+	}
+}
+
+func TestVoidFunctionCall(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var n int;
+		func bump() { n = n + 1; }
+		func main() {
+			bump();
+			bump();
+			bump();
+		}
+	`)
+	if got := globalInt(t, m, "n"); got != 3 {
+		t.Errorf("n = %d, want 3", got)
+	}
+}
+
+func TestNumericalKernel(t *testing.T) {
+	// A miniature Jacobi iteration to exercise float arrays and
+	// convergence-style loops (the pattern the benchmark apps use).
+	m, _ := runMiniC(t, `
+		var u [64] float;
+		var tmp [64] float;
+		var residual float;
+		func main() {
+			var i int;
+			var iter int;
+			u[0] = 0.0;
+			u[63] = 1.0;
+			for (iter = 0; iter < 200; iter = iter + 1) {
+				for (i = 1; i < 63; i = i + 1) {
+					tmp[i] = 0.5 * (u[i-1] + u[i+1]);
+				}
+				for (i = 1; i < 63; i = i + 1) {
+					u[i] = tmp[i];
+				}
+			}
+			residual = 0.0;
+			for (i = 1; i < 63; i = i + 1) {
+				residual = residual + fabs(u[i] - 0.5 * (u[i-1] + u[i+1]));
+			}
+		}
+	`)
+	res := globalFloat(t, m, "residual")
+	if math.IsNaN(res) || res > 0.2 {
+		t.Errorf("residual = %v, want small", res)
+	}
+	v, err := m.ReadGlobalFloats("u", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 || v[63] != 1 {
+		t.Error("boundary conditions lost")
+	}
+	// The solution is monotone after smoothing.
+	for i := 1; i < 64; i++ {
+		if v[i]+1e-9 < v[i-1] {
+			t.Fatalf("u not monotone at %d: %v < %v", i, v[i], v[i-1])
+		}
+	}
+}
+
+func TestHexLiteralsAndComments(t *testing.T) {
+	m, _ := runMiniC(t, `
+		// line comment
+		var r int;
+		/* block
+		   comment */
+		func main() {
+			r = 0x10 + 0xF; // 31
+		}
+	`)
+	if got := globalInt(t, m, "r"); got != 31 {
+		t.Errorf("r = %d, want 31", got)
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var a float;
+		var b float;
+		func main() {
+			a = 1.5e3;
+			b = 2.5e-2;
+		}
+	`)
+	if globalFloat(t, m, "a") != 1500 || globalFloat(t, m, "b") != 0.025 {
+		t.Error("scientific notation wrong")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no main", `var x int;`},
+		{"main with params", `func main(x int) {}`},
+		{"main with return type", `func main() int { return 0; }`},
+		{"undefined var", `func main() { x = 1; }`},
+		{"undefined func", `func main() { foo(); }`},
+		{"type mismatch assign", `var x int; func main() { x = 1.5; }`},
+		{"mixed binary", `func main() { var x float; x = 1 + 2.5; }`},
+		{"mod float", `func main() { var x float; x = 2.5 % 1.5; }`},
+		{"float condition", `func main() { if (1.5) {} }`},
+		{"arity mismatch", `func f(a int) int { return a; } func main() { var x int; x = f(1, 2); }`},
+		{"arg type mismatch", `func f(a float) float { return a; } func main() { var x float; x = f(1); }`},
+		{"missing return", `func f() int { var x int; x = 1; } func main() {}`},
+		{"void in expr", `func f() {} func main() { var x int; x = f(); }`},
+		{"array as scalar", `var a [4] float; func main() { var x float; x = a; }`},
+		{"scalar as array", `var s float; func main() { s[0] = 1.0; }`},
+		{"local array", `func main() { var a [4] float; }`},
+		{"redeclared local", `func main() { var x int; var x int; }`},
+		{"redeclared global", `var g int; var g float; func main() {}`},
+		{"func shadows builtin", `func sqrt(x float) float { return x; } func main() {}`},
+		{"global init not literal", `var g int = 1 + 2; func main() {}`},
+		{"assign to undeclared array", `func main() { nope[0] = 1.0; }`},
+		{"non-call expr stmt", `func main() { 1 + 2; }`},
+		{"return value from void", `func f() { return 1; } func main() {}`},
+		{"float array index", `var a [4] float; func main() { a[1.5] = 0.0; }`},
+		{"unterminated comment", `func main() {} /* oops`},
+		{"stray char", `func main() { @ }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.src); err == nil {
+				t.Errorf("compiled without error:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Compile("func main() {\n  var x int;\n  x = 1.5;\n}")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	ce, ok := err.(*CompileError)
+	if !ok || ce.Line != 3 {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestCompileToAsmHasPrologues(t *testing.T) {
+	text, err := CompileToAsm(`
+		func helper(a int) int { return a * 2; }
+		func main() { var x int; x = helper(21); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"helper:", "main:", "push bp", "mov bp, sp", "addi sp, sp, -", ".entry _start", "call main"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("assembly missing %q", want)
+		}
+	}
+	// Every function must carry the Listing-1 prologue: count them.
+	if strings.Count(text, "push bp") < 2 {
+		t.Error("not every function has a prologue")
+	}
+}
+
+func TestDeterministicCompilation(t *testing.T) {
+	src := `
+		var grid [32] float;
+		func step(i int) float { return grid[i] * 0.5; }
+		func main() {
+			var i int;
+			for (i = 0; i < 32; i = i + 1) { grid[i] = step(i) + 1.0; }
+		}
+	`
+	a1, err := CompileToAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := CompileToAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var broke int;
+		var skipped int;
+		var whiled int;
+		func main() {
+			var i int;
+			for (i = 0; i < 100; i = i + 1) {
+				if (i == 7) { break; }
+				broke = broke + 1;
+			}
+			for (i = 0; i < 10; i = i + 1) {
+				if (i % 2 == 0) { continue; }
+				skipped = skipped + 1;
+			}
+			i = 0;
+			while (1 == 1) {
+				i = i + 1;
+				if (i >= 5) { break; }
+				if (i == 2) { continue; }
+				whiled = whiled + 1;
+			}
+		}
+	`)
+	if got := globalInt(t, m, "broke"); got != 7 {
+		t.Errorf("broke = %d, want 7", got)
+	}
+	if got := globalInt(t, m, "skipped"); got != 5 {
+		t.Errorf("skipped = %d, want 5 (odd i only)", got)
+	}
+	if got := globalInt(t, m, "whiled"); got != 3 {
+		t.Errorf("whiled = %d, want 3 (i=1,3,4)", got)
+	}
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var count int;
+		func main() {
+			var i int;
+			var j int;
+			for (i = 0; i < 4; i = i + 1) {
+				for (j = 0; j < 100; j = j + 1) {
+					if (j == 3) { break; }   // breaks inner loop only
+					count = count + 1;
+				}
+			}
+		}
+	`)
+	if got := globalInt(t, m, "count"); got != 12 {
+		t.Errorf("count = %d, want 12", got)
+	}
+}
+
+func TestContinueRunsForPost(t *testing.T) {
+	// continue in a for loop must still execute the post statement, or
+	// the loop would never terminate.
+	m, _ := runMiniC(t, `
+		var n int;
+		func main() {
+			var i int;
+			for (i = 0; i < 10; i = i + 1) {
+				continue;
+			}
+			n = i;
+		}
+	`)
+	if got := globalInt(t, m, "n"); got != 10 {
+		t.Errorf("n = %d, want 10", got)
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	for _, src := range []string{
+		`func main() { break; }`,
+		`func main() { continue; }`,
+		`func main() { if (1 == 1) { break; } }`,
+		`func f() { break; } func main() { var i int; for (i = 0; i < 1; i = i + 1) { f(); } }`,
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("compiled without error:\n%s", src)
+		}
+	}
+}
+
+func TestGlobalArrayInitializers(t *testing.T) {
+	m, _ := runMiniC(t, `
+		var w [4] float = { 0.25, 0.5, 0.75, 1.0 };
+		var lut [6] int = { 10, 20, 30 };          // zero-padded
+		var folded [2] float = { 1.0 / 4.0, sqrt(4.0) };
+		var sum float;
+		var isum int;
+		func main() {
+			var i int;
+			for (i = 0; i < 4; i = i + 1) { sum = sum + w[i]; }
+			for (i = 0; i < 6; i = i + 1) { isum = isum + lut[i]; }
+			sum = sum + folded[0] + folded[1];
+		}
+	`)
+	if got := globalFloat(t, m, "sum"); got != 0.25+0.5+0.75+1.0+0.25+2.0 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := globalInt(t, m, "isum"); got != 60 {
+		t.Errorf("isum = %d, want 60", got)
+	}
+}
+
+func TestGlobalArrayInitializerErrors(t *testing.T) {
+	cases := []string{
+		`var w [2] float = { 1.0, 2.0, 3.0 }; func main() {}`,           // too many
+		`var w [2] float = { 1 }; func main() {}`,                       // wrong type
+		`var n int = 3; var w [2] float = { float(n) }; func main() {}`, // not constant
+		`func main() { var w [2] float = { 1.0 }; }`,                    // local array
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("compiled without error:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer scans MiniC source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return cerrf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	tok := func(k Kind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return tok(EOF, ""), nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return tok(k, word), nil
+		}
+		return tok(IDENT, word), nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekByte2())):
+		start := l.pos
+		isFloat := false
+		// Hex integers.
+		if c == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && strings.ContainsRune("0123456789abcdefABCDEF", rune(l.peekByte())) {
+				l.advance()
+			}
+			return tok(INTLIT, l.src[start:l.pos]), nil
+		}
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.pos < len(l.src) && l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+			isFloat = true
+			l.advance()
+			if l.peekByte() == '+' || l.peekByte() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peekByte()) {
+				return Token{}, cerrf(l.line, l.col, "malformed exponent")
+			}
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			return tok(FLOATLIT, text), nil
+		}
+		return tok(INTLIT, text), nil
+	}
+
+	l.advance()
+	two := func(next byte, with, without Kind) (Token, error) {
+		if l.peekByte() == next {
+			l.advance()
+			return tok(with, ""), nil
+		}
+		return tok(without, ""), nil
+	}
+	switch c {
+	case '(':
+		return tok(LPAREN, ""), nil
+	case ')':
+		return tok(RPAREN, ""), nil
+	case '{':
+		return tok(LBRACE, ""), nil
+	case '}':
+		return tok(RBRACE, ""), nil
+	case '[':
+		return tok(LBRACK, ""), nil
+	case ']':
+		return tok(RBRACK, ""), nil
+	case ',':
+		return tok(COMMA, ""), nil
+	case ';':
+		return tok(SEMI, ""), nil
+	case '+':
+		return tok(PLUS, ""), nil
+	case '-':
+		return tok(MINUS, ""), nil
+	case '*':
+		return tok(STAR, ""), nil
+	case '/':
+		return tok(SLASH, ""), nil
+	case '%':
+		return tok(PERCENT, ""), nil
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return tok(AND, ""), nil
+		}
+		return Token{}, cerrf(line, col, "unexpected '&'")
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return tok(OR, ""), nil
+		}
+		return Token{}, cerrf(line, col, "unexpected '|'")
+	}
+	return Token{}, cerrf(line, col, "unexpected character %q", string(c))
+}

@@ -1,0 +1,505 @@
+package lang
+
+import "strconv"
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions.
+type parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse lexes and parses MiniC source.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() Token     { return p.toks[p.i] }
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		t := p.cur()
+		return t, cerrf(t.Line, t.Col, "expected %v, found %v", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KVAR:
+			d, err := p.varDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case KFUNC:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.cur()
+			return nil, cerrf(t.Line, t.Col, "expected 'var' or 'func' at top level, found %v", t)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	switch p.cur().Kind {
+	case KINT:
+		p.advance()
+		return TInt, nil
+	case KFLOAT:
+		p.advance()
+		return TFloat, nil
+	}
+	t := p.cur()
+	return TVoid, cerrf(t.Line, t.Col, "expected type, found %v", t)
+}
+
+// varDecl parses: var name [N]? type (= expr)? ;
+func (p *parser) varDecl(global bool) (*VarDecl, error) {
+	kw, err := p.expect(KVAR)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{pos: pos{kw.Line, kw.Col}, Name: name.Text}
+	if p.accept(LBRACK) {
+		if !global {
+			return nil, cerrf(name.Line, name.Col, "arrays are global-only")
+		}
+		lit, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(lit.Text, 0, 64)
+		if err != nil || n <= 0 {
+			return nil, cerrf(lit.Line, lit.Col, "bad array length %q", lit.Text)
+		}
+		d.ArrayLen = n
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if d.Type, err = p.typeName(); err != nil {
+		return nil, err
+	}
+	if p.accept(ASSIGN) {
+		if d.ArrayLen > 0 {
+			if !global {
+				return nil, cerrf(d.Line, d.Col, "arrays are global-only")
+			}
+			if d.ArrayInit, err = p.arrayInit(); err != nil {
+				return nil, err
+			}
+			if int64(len(d.ArrayInit)) > d.ArrayLen {
+				return nil, cerrf(d.Line, d.Col, "%d initializers for array of %d", len(d.ArrayInit), d.ArrayLen)
+			}
+		} else if d.Init, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(SEMI)
+	return d, err
+}
+
+// arrayInit parses "{ expr, expr, ... }"; elements must fold to literals
+// (checked later).
+func (p *parser) arrayInit() ([]Expr, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.at(RBRACE) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	_, err := p.expect(RBRACE)
+	return out, err
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(KFUNC)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{pos: pos{kw.Line, kw.Col}, Name: name.Text, Ret: TVoid}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for !p.at(RPAREN) {
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, &VarDecl{pos: pos{pn.Line, pn.Col}, Name: pn.Text, Type: pt})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if p.at(KINT) || p.at(KFLOAT) {
+		if f.Ret, err = p.typeName(); err != nil {
+			return nil, err
+		}
+	}
+	if f.Body, err = p.block(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{pos: pos{lb.Line, lb.Col}}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	_, err = p.expect(RBRACE)
+	return b, err
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KVAR:
+		return p.varDecl(false)
+	case KIF:
+		return p.ifStmt()
+	case KWHILE:
+		return p.whileStmt()
+	case KFOR:
+		return p.forStmt()
+	case KBREAK:
+		kw := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{pos: pos{kw.Line, kw.Col}}, nil
+	case KCONTINUE:
+		kw := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{pos: pos{kw.Line, kw.Col}}, nil
+	case KRETURN:
+		kw := p.advance()
+		r := &ReturnStmt{pos: pos{kw.Line, kw.Col}}
+		if !p.at(SEMI) {
+			var err error
+			if r.Value, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(SEMI)
+		return r, err
+	case LBRACE:
+		return p.block()
+	case IDENT:
+		// Assignment or call statement; disambiguate on the token after
+		// the identifier.
+		switch p.toks[p.i+1].Kind {
+		case ASSIGN, LBRACK:
+			a, err := p.simpleAssign()
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(SEMI)
+			return a, err
+		default:
+			t := p.cur()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{pos: pos{t.Line, t.Col}, X: x}, nil
+		}
+	}
+	t := p.cur()
+	return nil, cerrf(t.Line, t.Col, "expected statement, found %v", t)
+}
+
+// simpleAssign parses "name = expr" or "name[expr] = expr" without the
+// trailing semicolon (shared by statements and for-headers).
+func (p *parser) simpleAssign() (*AssignStmt, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	a := &AssignStmt{pos: pos{name.Line, name.Col}, Name: name.Text}
+	if p.accept(LBRACK) {
+		if a.Index, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	a.Value, err = p.expr()
+	return a, err
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.advance()
+	s := &IfStmt{pos: pos{kw.Line, kw.Col}}
+	var err error
+	if _, err = p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if s.Cond, err = p.expr(); err != nil {
+		return nil, err
+	}
+	if _, err = p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if s.Then, err = p.block(); err != nil {
+		return nil, err
+	}
+	if p.accept(KELSE) {
+		if p.at(KIF) {
+			s.Else, err = p.ifStmt()
+		} else {
+			s.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.advance()
+	s := &WhileStmt{pos: pos{kw.Line, kw.Col}}
+	var err error
+	if _, err = p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if s.Cond, err = p.expr(); err != nil {
+		return nil, err
+	}
+	if _, err = p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	return s, err
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.advance()
+	s := &ForStmt{pos: pos{kw.Line, kw.Col}}
+	var err error
+	if _, err = p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if !p.at(SEMI) {
+		if s.Init, err = p.simpleAssign(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err = p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(SEMI) {
+		if s.Cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err = p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) {
+		if s.Post, err = p.simpleAssign(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err = p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	return s, err
+}
+
+// Expression parsing: precedence climbing.
+
+var precedence = map[Kind]int{
+	OR:  1,
+	AND: 2,
+	EQ:  3, NE: 3,
+	LT: 4, LE: 4, GT: 4, GE: 4,
+	PLUS: 5, MINUS: 5,
+	STAR: 6, SLASH: 6, PERCENT: 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := precedence[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{pos: pos{op.Line, op.Col}, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == MINUS || t.Kind == NOT {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{t.Line, t.Col}, Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, cerrf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{pos: pos{t.Line, t.Col}, Value: v}, nil
+	case FLOATLIT:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, cerrf(t.Line, t.Col, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{pos: pos{t.Line, t.Col}, Value: v}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RPAREN)
+		return x, err
+	case KINT, KFLOAT:
+		// Cast syntax: int(expr) / float(expr), parsed as a builtin call.
+		p.advance()
+		name := "int"
+		if t.Kind == KFLOAT {
+			name = "float"
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &CallExpr{pos: pos{t.Line, t.Col}, Name: name, Args: []Expr{x}}, nil
+	case IDENT:
+		p.advance()
+		switch p.cur().Kind {
+		case LPAREN:
+			p.advance()
+			call := &CallExpr{pos: pos{t.Line, t.Col}, Name: t.Text}
+			for !p.at(RPAREN) {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case LBRACK:
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{pos: pos{t.Line, t.Col}, Name: t.Text, Index: idx}, nil
+		default:
+			return &VarRef{pos: pos{t.Line, t.Col}, Name: t.Text}, nil
+		}
+	}
+	return nil, cerrf(t.Line, t.Col, "expected expression, found %v", t)
+}

@@ -1,0 +1,119 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/stats"
+)
+
+// TestCompilerNeverPanics feeds the full pipeline random byte soup and
+// random mutations of a valid program: errors are fine, panics are not.
+func TestCompilerNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("compiler panicked: %v", r)
+		}
+	}()
+	f := func(src string) bool {
+		_, _ = Compile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompilerSurvivesMutations deletes/duplicates random chunks of a
+// valid program — the classic way to hit parser edge cases.
+func TestCompilerSurvivesMutations(t *testing.T) {
+	base := `
+		var grid [16] float;
+		func kernel(i int) float { return grid[i] * 0.5 + sqrt(2.0); }
+		func main() {
+			var i int;
+			for (i = 0; i < 16; i = i + 1) {
+				if (i % 2 == 0) { grid[i] = kernel(i); } else { continue; }
+			}
+		}
+	`
+	rng := stats.NewRNG(13)
+	for i := 0; i < 2000; i++ {
+		src := base
+		switch rng.Intn(3) {
+		case 0: // delete a span
+			if len(src) > 10 {
+				a := rng.Intn(len(src) - 1)
+				b := a + 1 + rng.Intn(len(src)-a-1)
+				src = src[:a] + src[b:]
+			}
+		case 1: // duplicate a span
+			a := rng.Intn(len(src))
+			b := a + rng.Intn(len(src)-a)
+			src = src[:b] + src[a:b] + src[b:]
+		case 2: // splice random token garbage
+			tokens := []string{"(", ")", "{", "}", ";", "var", "0x", "&&", "!", "1e", "[", "]"}
+			at := rng.Intn(len(src))
+			src = src[:at] + tokens[rng.Intn(len(tokens))] + src[at:]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked on mutated input: %v\n%s", r, src)
+				}
+			}()
+			_, _ = Compile(src)
+		}()
+	}
+}
+
+// TestAssemblerNeverPanics mirrors the compiler fuzz for the assembler.
+func TestAssemblerNeverPanics(t *testing.T) {
+	rng := stats.NewRNG(29)
+	pieces := []string{
+		"main:", ".entry main", ".global g 8", ".double d 1.5", ".int i 2",
+		"li x1, 5", "ld x2, [x1+8]", "fst f1, [sp-8]", "beq x1, x2, main",
+		"call main", "ret", "halt", "push bp", "pop", "jmp", "[", "0x",
+		"li x99, 1", "fld f1, x2", "addi sp, sp,", "; comment",
+	}
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(10)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte('\n')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked: %v\n%s", r, src)
+				}
+			}()
+			_, _ = asm.Assemble(src)
+		}()
+	}
+}
+
+// TestCompiledProgramsAlwaysValidate: anything the compiler accepts must
+// pass the program validator and load into a machine.
+func TestCompiledProgramsAlwaysValidate(t *testing.T) {
+	samples := []string{
+		`func main() {}`,
+		`var x float; func main() { x = 1.0; }`,
+		`var a [4] int; func f() int { return a[0]; } func main() { a[1] = f(); }`,
+		`func main() { var i int; while (i < 3) { i = i + 1; } }`,
+		`func g(x float, y float) float { return fmin(x, y); } func main() { print(g(1.0, 2.0)); }`,
+	}
+	for _, src := range samples {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("compiled program fails validation: %v", err)
+		}
+	}
+}

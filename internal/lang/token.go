@@ -1,0 +1,120 @@
+// Package lang implements MiniC, the small C-like language the benchmark
+// mini-applications are written in. The compiler pipeline is
+// lexer -> parser -> type checker -> code generator, and the generated
+// assembly is assembled by internal/asm into a loadable program.
+//
+// MiniC deliberately compiles with the exact frame-pointer prologue of the
+// paper's Listing 1, so that the PIN-analog static analysis can recover
+// stack-frame sizes and LetGo's Heuristic II works unmodified on every
+// compiled application.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KVAR
+	KFUNC
+	KIF
+	KELSE
+	KWHILE
+	KFOR
+	KRETURN
+	KBREAK
+	KCONTINUE
+	KINT
+	KFLOAT
+
+	// Punctuation.
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACK
+	RBRACK
+	COMMA
+	SEMI
+
+	// Operators.
+	ASSIGN // =
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	EQ  // ==
+	NE  // !=
+	LT  // <
+	LE  // <=
+	GT  // >
+	GE  // >=
+	AND // &&
+	OR  // ||
+	NOT // !
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	KVAR: "'var'", KFUNC: "'func'", KIF: "'if'", KELSE: "'else'", KWHILE: "'while'",
+	KFOR: "'for'", KRETURN: "'return'", KBREAK: "'break'", KCONTINUE: "'continue'",
+	KINT: "'int'", KFLOAT: "'float'",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACK: "'['", RBRACK: "']'", COMMA: "','", SEMI: "';'",
+	ASSIGN: "'='", PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PERCENT: "'%'",
+	EQ: "'=='", NE: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	AND: "'&&'", OR: "'||'", NOT: "'!'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind?%d", k)
+}
+
+var keywords = map[string]Kind{
+	"var": KVAR, "func": KFUNC, "if": KIF, "else": KELSE, "while": KWHILE,
+	"for": KFOR, "return": KRETURN, "break": KBREAK, "continue": KCONTINUE,
+	"int": KINT, "float": KFLOAT,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// CompileError is a diagnostic with a source position.
+type CompileError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("minic: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func cerrf(line, col int, format string, args ...any) *CompileError {
+	return &CompileError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,241 @@
+// Package mem implements the simulated machine's data memory: a sparse,
+// paged 64-bit address space with explicit segment mapping.
+//
+// Accesses outside mapped segments return an unmapped-access error (the
+// machine turns it into SIGSEGV); misaligned 8-byte accesses return an
+// alignment error (SIGBUS). This is the crash-generation mechanism of the
+// whole reproduction: a bit flip in an address-forming register almost
+// always lands outside the few mapped segments and faults, exactly like a
+// corrupted pointer on real hardware.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PageSize is the granularity of the page table, in bytes.
+const PageSize = 4096
+
+// AccessKind classifies a faulting access.
+type AccessKind uint8
+
+// Access fault kinds.
+const (
+	Unmapped   AccessKind = iota // no segment maps the address -> SIGSEGV
+	Misaligned                   // 8-byte access not 8-byte aligned -> SIGBUS
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Unmapped:
+		return "unmapped"
+	case Misaligned:
+		return "misaligned"
+	}
+	return fmt.Sprintf("accesskind?%d", k)
+}
+
+// AccessError describes a faulting memory access.
+type AccessError struct {
+	Kind  AccessKind
+	Addr  uint64
+	Size  uint64
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("mem: %s %s of %d bytes at 0x%x", e.Kind, dir, e.Size, e.Addr)
+}
+
+// Segment is one mapped address range.
+type Segment struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() uint64 { return s.Base + s.Size }
+
+// Memory is a sparse paged data memory. The zero value is unusable; use New.
+type Memory struct {
+	pages    map[uint64][]byte // page index -> PageSize bytes
+	segments []Segment
+}
+
+// New returns an empty memory with no mapped segments.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+// Map adds a segment. The range is rounded outward to page boundaries for
+// mapping purposes but bounds-checked at byte granularity. Overlapping
+// segments are rejected.
+func (m *Memory) Map(name string, base, size uint64) error {
+	if size == 0 {
+		return fmt.Errorf("mem: segment %q has zero size", name)
+	}
+	if base+size < base {
+		return fmt.Errorf("mem: segment %q wraps the address space", name)
+	}
+	for _, s := range m.segments {
+		if base < s.End() && s.Base < base+size {
+			return fmt.Errorf("mem: segment %q overlaps %q", name, s.Name)
+		}
+	}
+	m.segments = append(m.segments, Segment{Name: name, Base: base, Size: size})
+	sort.Slice(m.segments, func(i, j int) bool { return m.segments[i].Base < m.segments[j].Base })
+	return nil
+}
+
+// Segments returns the mapped segments in address order.
+func (m *Memory) Segments() []Segment {
+	out := make([]Segment, len(m.segments))
+	copy(out, m.segments)
+	return out
+}
+
+// Mapped reports whether the byte range [addr, addr+size) lies entirely
+// inside one mapped segment.
+func (m *Memory) Mapped(addr, size uint64) bool {
+	if addr+size < addr {
+		return false
+	}
+	// Binary search for the last segment with Base <= addr.
+	i := sort.Search(len(m.segments), func(i int) bool { return m.segments[i].Base > addr })
+	if i == 0 {
+		return false
+	}
+	s := m.segments[i-1]
+	return addr >= s.Base && addr+size <= s.End()
+}
+
+// SegmentAt returns the segment containing addr.
+func (m *Memory) SegmentAt(addr uint64) (Segment, bool) {
+	i := sort.Search(len(m.segments), func(i int) bool { return m.segments[i].Base > addr })
+	if i == 0 {
+		return Segment{}, false
+	}
+	s := m.segments[i-1]
+	if addr < s.End() {
+		return s, true
+	}
+	return Segment{}, false
+}
+
+func (m *Memory) check(addr, size uint64, write bool) error {
+	if size == 8 && addr%8 != 0 {
+		return &AccessError{Kind: Misaligned, Addr: addr, Size: size, Write: write}
+	}
+	if !m.Mapped(addr, size) {
+		return &AccessError{Kind: Unmapped, Addr: addr, Size: size, Write: write}
+	}
+	return nil
+}
+
+// page returns the backing page for addr, allocating it on first touch.
+func (m *Memory) page(addr uint64) []byte {
+	idx := addr / PageSize
+	p, ok := m.pages[idx]
+	if !ok {
+		p = make([]byte, PageSize)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// rawRead copies mapped bytes without access checks (caller has checked).
+func (m *Memory) rawRead(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+func (m *Memory) rawWrite(addr uint64, src []byte) {
+	for len(src) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read8 loads a 64-bit little-endian word.
+func (m *Memory) Read8(addr uint64) (uint64, error) {
+	if err := m.check(addr, 8, false); err != nil {
+		return 0, err
+	}
+	var b [8]byte
+	m.rawRead(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Write8 stores a 64-bit little-endian word.
+func (m *Memory) Write8(addr, val uint64) error {
+	if err := m.check(addr, 8, true); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	m.rawWrite(addr, b[:])
+	return nil
+}
+
+// ReadFloat loads an IEEE-754 binary64 value.
+func (m *Memory) ReadFloat(addr uint64) (float64, error) {
+	u, err := m.Read8(addr)
+	return math.Float64frombits(u), err
+}
+
+// WriteFloat stores an IEEE-754 binary64 value.
+func (m *Memory) WriteFloat(addr uint64, val float64) error {
+	return m.Write8(addr, math.Float64bits(val))
+}
+
+// ReadBytes copies size bytes starting at addr (host-side access for
+// loaders, checkers and debuggers; still segment-checked).
+func (m *Memory) ReadBytes(addr, size uint64) ([]byte, error) {
+	if err := m.check(addr, size, false); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	m.rawRead(addr, out)
+	return out, nil
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if err := m.check(addr, uint64(len(b)), true); err != nil {
+		return err
+	}
+	m.rawWrite(addr, b)
+	return nil
+}
+
+// Snapshot returns a deep copy of the memory (pages and segment table),
+// used for golden-run comparison and checkpoint emulation in tests.
+func (m *Memory) Snapshot() *Memory {
+	c := New()
+	c.segments = append(c.segments, m.segments...)
+	for idx, p := range m.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		c.pages[idx] = cp
+	}
+	return c
+}
+
+// TouchedPages returns the number of pages that have been allocated.
+func (m *Memory) TouchedPages() int { return len(m.pages) }

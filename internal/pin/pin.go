@@ -1,0 +1,187 @@
+// Package pin provides the instruction-level analysis LetGo needs, in the
+// role PIN plays for the paper's prototype: disassembly, next-PC lookup,
+// function-boundary recovery, stack-frame-size extraction from function
+// prologues, and dynamic-instruction profiling for the fault injector.
+//
+// Like the paper's use of PIN, everything here is static except Profile,
+// which is the injector's one-time profiling phase (Section 5.4).
+package pin
+
+import (
+	"fmt"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Analysis wraps a program with derived static information.
+type Analysis struct {
+	prog *isa.Program
+	// frameCache memoizes FrameSize by function start address.
+	frameCache map[uint64]frameInfo
+}
+
+type frameInfo struct {
+	size uint64
+	ok   bool
+}
+
+// Analyze builds an Analysis for prog.
+func Analyze(prog *isa.Program) *Analysis {
+	return &Analysis{prog: prog, frameCache: make(map[uint64]frameInfo)}
+}
+
+// Program returns the analyzed program.
+func (a *Analysis) Program() *isa.Program { return a.prog }
+
+// InstrAt disassembles the instruction at a code address.
+func (a *Analysis) InstrAt(addr uint64) (isa.Instruction, bool) {
+	return a.prog.InstrAt(addr)
+}
+
+// NextPC returns the address of the architecturally next instruction
+// (layout successor, not branch successor) — the primitive LetGo uses to
+// skip a faulting instruction.
+func (a *Analysis) NextPC(addr uint64) (uint64, bool) {
+	return a.prog.NextPC(addr)
+}
+
+// FuncAt returns the function symbol containing addr.
+func (a *Analysis) FuncAt(addr uint64) (isa.Symbol, bool) {
+	return a.prog.FuncAt(addr)
+}
+
+// FrameSize recovers the stack-frame size of the function containing
+// addr by scanning the function entry for the standard prologue
+//
+//	push bp
+//	mov  bp, sp
+//	addi sp, sp, -N
+//
+// mirroring the paper's Listing-1 analysis ("locate the instruction that
+// shows how much memory the function needs on the stack"). The returned
+// bound is used by Heuristic II as sp <= bp <= sp+N (+slack for pushed
+// registers). Functions without the full prologue (e.g. leaf functions
+// that allocate nothing) report ok=false.
+func (a *Analysis) FrameSize(addr uint64) (uint64, bool) {
+	fn, ok := a.prog.FuncAt(addr)
+	if !ok {
+		return 0, false
+	}
+	if fi, hit := a.frameCache[fn.Addr]; hit {
+		return fi.size, fi.ok
+	}
+	size, found := a.scanPrologue(fn)
+	a.frameCache[fn.Addr] = frameInfo{size: size, ok: found}
+	return size, found
+}
+
+func (a *Analysis) scanPrologue(fn isa.Symbol) (uint64, bool) {
+	in0, ok0 := a.prog.InstrAt(fn.Addr)
+	in1, ok1 := a.prog.InstrAt(fn.Addr + isa.InstrBytes)
+	in2, ok2 := a.prog.InstrAt(fn.Addr + 2*isa.InstrBytes)
+	if !ok0 || !ok1 || !ok2 {
+		return 0, false
+	}
+	if in0.Op != isa.PUSH || in0.Rs1 != isa.BP {
+		return 0, false
+	}
+	if in1.Op != isa.MOV || in1.Rd != isa.BP || in1.Rs1 != isa.SP {
+		return 0, false
+	}
+	if in2.Op != isa.ADDI || in2.Rd != isa.SP || in2.Rs1 != isa.SP || in2.Imm >= 0 {
+		// A function that allocates no locals still has a valid zero-size
+		// frame if it skips the ADDI; report it as frame 0.
+		if in2.Op != isa.ADDI {
+			return 0, true
+		}
+		return 0, false
+	}
+	return uint64(-in2.Imm), true
+}
+
+// Profile is the result of the one-time profiling phase: the total dynamic
+// instruction count and the execution count of every static instruction.
+// The fault injector samples a uniformly random dynamic instruction from
+// it (Section 5.4 of the paper).
+type Profile struct {
+	Total uint64
+	// Counts[i] is the execution count of static instruction i
+	// (address isa.CodeBase + i*isa.InstrBytes).
+	Counts []uint64
+}
+
+// CountAt returns the execution count of the static instruction at addr.
+func (p *Profile) CountAt(addr uint64) uint64 {
+	i := int((addr - isa.CodeBase) / isa.InstrBytes)
+	if addr < isa.CodeBase || i >= len(p.Counts) {
+		return 0
+	}
+	return p.Counts[i]
+}
+
+// Site identifies one dynamic instruction: the Instance-th execution
+// (1-based) of the static instruction at Addr.
+type Site struct {
+	Addr     uint64
+	Instance uint64
+}
+
+// SiteOf maps a dynamic instruction index (0-based, < Total) to its
+// (static address, instance) pair, walking static instructions in address
+// order. The mapping is a deterministic bijection given the profile, so a
+// uniform index yields a uniform dynamic instruction.
+func (p *Profile) SiteOf(dyn uint64) (Site, error) {
+	if dyn >= p.Total {
+		return Site{}, fmt.Errorf("pin: dynamic index %d out of range (total %d)", dyn, p.Total)
+	}
+	var acc uint64
+	for i, c := range p.Counts {
+		if dyn < acc+c {
+			return Site{
+				Addr:     isa.CodeBase + uint64(i)*isa.InstrBytes,
+				Instance: dyn - acc + 1,
+			}, nil
+		}
+		acc += c
+	}
+	return Site{}, fmt.Errorf("pin: profile inconsistent: total %d, sum %d", p.Total, acc)
+}
+
+// OpcodeMix aggregates a profile's dynamic counts by opcode — the
+// instruction-mix view used to reason about an app's fault surface (how
+// many dynamic instructions carry destination registers, touch memory,
+// or move the stack pointer).
+func (a *Analysis) OpcodeMix(prof *Profile) map[isa.Op]uint64 {
+	mix := make(map[isa.Op]uint64)
+	for i, c := range prof.Counts {
+		if c == 0 {
+			continue
+		}
+		mix[a.prog.Instrs[i].Op] += c
+	}
+	return mix
+}
+
+// Profile executes prog to completion on a fresh machine, counting
+// every retired instruction. It fails if the fault-free program does not
+// halt within maxInstrs (the profiling phase must observe a clean run).
+func (a *Analysis) ProfileRun(cfg vm.Config, maxInstrs uint64) (*Profile, error) {
+	m, err := vm.New(a.prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{Counts: make([]uint64, len(a.prog.Instrs))}
+	for !m.Halted {
+		if prof.Total >= maxInstrs {
+			return nil, fmt.Errorf("pin: profiling exceeded budget of %d instructions", maxInstrs)
+		}
+		pc := m.PC
+		if err := m.Step(); err != nil {
+			return nil, fmt.Errorf("pin: fault-free run trapped: %w", err)
+		}
+		prof.Counts[(pc-isa.CodeBase)/isa.InstrBytes]++
+		prof.Total++
+	}
+	return prof, nil
+}

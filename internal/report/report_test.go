@@ -1,0 +1,138 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/checkpoint"
+	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+)
+
+func sampleResult() *inject.Result {
+	r := &inject.Result{App: "LULESH", Mode: inject.LetGoE, N: 100, GoldenRetired: 500000}
+	for i := 0; i < 40; i++ {
+		r.Counts.Add(outcome.Benign)
+	}
+	for i := 0; i < 30; i++ {
+		r.Counts.Add(outcome.CBenign)
+	}
+	for i := 0; i < 20; i++ {
+		r.Counts.Add(outcome.Crash)
+	}
+	for i := 0; i < 10; i++ {
+		r.Counts.Add(outcome.Detected)
+	}
+	r.Metrics = outcome.ComputeMetrics(&r.Counts)
+	r.PCrash = 0.5
+	r.CrashLatencies = []uint64{2, 3, 9}
+	return r
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range []string{"text", "markdown", "CSV", "Json"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml accepted")
+	}
+}
+
+func TestRowFlattening(t *testing.T) {
+	row := Row(sampleResult())
+	if row.App != "LULESH" || row.Mode != "LetGo-E" || row.N != 100 {
+		t.Errorf("header fields: %+v", row)
+	}
+	if row.Benign != 0.4 || row.CBenign != 0.3 || row.CrashRate != 0.5 {
+		t.Errorf("fractions: %+v", row)
+	}
+	if row.MedianCrashLatency != 3 {
+		t.Errorf("median latency = %d", row.MedianCrashLatency)
+	}
+	if row.Continuability != 0.6 {
+		t.Errorf("continuability = %v", row.Continuability)
+	}
+}
+
+func TestCampaignsJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	rows := []CampaignRow{Row(sampleResult())}
+	if err := Campaigns(&sb, JSON, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []CampaignRow
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestCampaignsCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := Campaigns(&sb, CSV, []CampaignRow{Row(sampleResult())}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(recs[0]) != len(recs[1]) {
+		t.Fatalf("csv shape: %v", recs)
+	}
+	if recs[1][0] != "LULESH" {
+		t.Errorf("first cell = %q", recs[1][0])
+	}
+}
+
+func TestCampaignsMarkdownAndText(t *testing.T) {
+	var md, txt strings.Builder
+	rows := []CampaignRow{Row(sampleResult())}
+	if err := Campaigns(&md, Markdown, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(md.String(), "| app |") || !strings.Contains(md.String(), "| LULESH |") {
+		t.Errorf("markdown:\n%s", md.String())
+	}
+	if err := Campaigns(&txt, Text, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "LULESH") || strings.Contains(txt.String(), "|") {
+		t.Errorf("text:\n%s", txt.String())
+	}
+}
+
+func TestSimRendering(t *testing.T) {
+	pts := []checkpoint.Point{
+		{X: 12, Standard: 0.97, LetGo: 0.98},
+		{X: 1200, Standard: 0.72, LetGo: 0.80},
+	}
+	rows := SimRows("LULESH", "tchk", pts)
+	if len(rows) != 2 || rows[1].Gain <= 0.07 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, f := range []Format{Text, Markdown, CSV, JSON} {
+		var sb strings.Builder
+		if err := Sims(&sb, f, rows); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !strings.Contains(sb.String(), "LULESH") {
+			t.Errorf("%v output missing app name", f)
+		}
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	var sb strings.Builder
+	if err := Campaigns(&sb, Format("bogus"), nil); err == nil {
+		t.Error("bogus campaign format accepted")
+	}
+	if err := Sims(&sb, Format("bogus"), nil); err == nil {
+		t.Error("bogus sim format accepted")
+	}
+}

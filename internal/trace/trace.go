@@ -1,0 +1,164 @@
+// Package trace provides execution observability for the simulated
+// machine: bounded instruction tracing, crash reports with register dumps
+// and disassembly context, and a human-readable rendering of LetGo repair
+// logs. It is the substrate behind letgo-run's -events/-trace output and a
+// debugging aid for workload authors.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// Entry is one executed instruction.
+type Entry struct {
+	Seq   uint64 // retirement index
+	PC    uint64
+	Instr isa.Instruction
+}
+
+// Ring is a bounded instruction-history buffer: cheap enough to keep
+// armed for whole runs, and exactly what a crash report needs (the last
+// N instructions before the fault).
+type Ring struct {
+	entries []Entry
+	next    int
+	filled  bool
+}
+
+// NewRing returns a history buffer holding up to n entries.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{entries: make([]Entry, n)}
+}
+
+// Record appends an entry, evicting the oldest when full.
+func (r *Ring) Record(e Entry) {
+	r.entries[r.next] = e
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Last returns the recorded entries, oldest first.
+func (r *Ring) Last() []Entry {
+	if !r.filled {
+		return append([]Entry(nil), r.entries[:r.next]...)
+	}
+	out := make([]Entry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// Len reports how many entries are held.
+func (r *Ring) Len() int {
+	if r.filled {
+		return len(r.entries)
+	}
+	return r.next
+}
+
+// Step executes one machine instruction while recording it in the ring.
+// It returns the machine's error (trap) unchanged.
+func (r *Ring) Step(m *vm.Machine) error {
+	in, _ := m.CurrentInstr()
+	e := Entry{Seq: m.Retired, PC: m.PC, Instr: in}
+	err := m.Step()
+	if err == nil {
+		r.Record(e)
+	}
+	return err
+}
+
+// RunTraced runs the machine to completion (or trap/budget) with history
+// recording, returning the run error.
+func RunTraced(m *vm.Machine, ring *Ring, maxInstrs uint64) error {
+	for !m.Halted {
+		if m.Retired >= maxInstrs {
+			return vm.ErrBudget
+		}
+		if err := ring.Step(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashReport renders a post-mortem: the trap, a register dump, the
+// faulting function and its disassembly context, plus recent history.
+func CrashReport(w io.Writer, m *vm.Machine, trap *vm.Trap, ring *Ring) {
+	fmt.Fprintf(w, "crash: %v\n", trap)
+	if fn, ok := m.Prog.FuncAt(trap.PC); ok {
+		fmt.Fprintf(w, "in function %s (0x%x+0x%x)\n", fn.Name, fn.Addr, trap.PC-fn.Addr)
+	}
+	fmt.Fprintf(w, "\nregisters:\n")
+	for i := 0; i < isa.NumIntRegs; i += 4 {
+		for j := i; j < i+4 && j < isa.NumIntRegs; j++ {
+			fmt.Fprintf(w, "  %-3s %#018x", isa.IntRegName(isa.Reg(j)), m.X[j])
+		}
+		fmt.Fprintln(w)
+	}
+	for i := 0; i < isa.NumFloatRegs; i += 4 {
+		for j := i; j < i+4 && j < isa.NumFloatRegs; j++ {
+			fmt.Fprintf(w, "  %-3s %-18.6g", isa.FloatRegName(isa.Reg(j)), m.F[j])
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\ncode around pc:\n")
+	for off := -3; off <= 3; off++ {
+		addr := trap.PC + uint64(off*isa.InstrBytes)
+		in, ok := m.Prog.InstrAt(addr)
+		if !ok {
+			continue
+		}
+		marker := "  "
+		if off == 0 {
+			marker = "=>"
+		}
+		fmt.Fprintf(w, " %s 0x%06x  %v\n", marker, addr, in)
+	}
+
+	if ring != nil && ring.Len() > 0 {
+		fmt.Fprintf(w, "\nlast %d instructions:\n", ring.Len())
+		for _, e := range ring.Last() {
+			fmt.Fprintf(w, "  #%-10d 0x%06x  %v\n", e.Seq, e.PC, e.Instr)
+		}
+	}
+}
+
+// FormatEvents renders a LetGo repair log, one line per elided crash.
+func FormatEvents(events []core.Event) string {
+	var b strings.Builder
+	for i, ev := range events {
+		fmt.Fprintf(&b, "repair %d: %v at pc=0x%x (%v) -> pc=0x%x", i+1, ev.Signal, ev.PC, ev.Instr, ev.NewPC)
+		var acts []string
+		if ev.Actions&core.ActFillIntDest != 0 {
+			acts = append(acts, "H1:int-fill")
+		}
+		if ev.Actions&core.ActFillFloatDest != 0 {
+			acts = append(acts, "H1:float-fill")
+		}
+		if ev.Actions&core.ActRepairSP != 0 {
+			acts = append(acts, "H2:sp")
+		}
+		if ev.Actions&core.ActRepairBP != 0 {
+			acts = append(acts, "H2:bp")
+		}
+		if len(acts) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(acts, ","))
+		}
+		fmt.Fprintf(&b, " (%v)\n", ev.Duration)
+	}
+	return b.String()
+}

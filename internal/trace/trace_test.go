@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/lang"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+func TestRingBounds(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.Record(Entry{Seq: i})
+	}
+	got := r.Last()
+	if len(got) != 3 || got[0].Seq != 2 || got[2].Seq != 4 {
+		t.Errorf("Last() = %+v, want seqs 2..4", got)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	// Degenerate size is clamped.
+	r0 := NewRing(0)
+	r0.Record(Entry{Seq: 9})
+	if r0.Len() != 1 || r0.Last()[0].Seq != 9 {
+		t.Error("size-0 ring broken")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Entry{Seq: 1})
+	r.Record(Entry{Seq: 2})
+	got := r.Last()
+	if len(got) != 2 || got[0].Seq != 1 {
+		t.Errorf("partial Last() = %+v", got)
+	}
+}
+
+func TestRunTracedAndCrashReport(t *testing.T) {
+	src := `
+		var g [4] float;
+		func main() {
+			var i int;
+			for (i = 0; i < 4; i = i + 1) { g[i] = float(i); }
+			g[0] = g[9000000000];
+		}
+	`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing(16)
+	runErr := RunTraced(m, ring, 1<<20)
+	var trap *vm.Trap
+	if !errors.As(runErr, &trap) || trap.Signal != vm.SIGSEGV {
+		t.Fatalf("runErr = %v, want SIGSEGV", runErr)
+	}
+	if ring.Len() != 16 {
+		t.Errorf("ring length = %d", ring.Len())
+	}
+
+	var sb strings.Builder
+	CrashReport(&sb, m, trap, ring)
+	report := sb.String()
+	for _, want := range []string{"crash: vm: SIGSEGV", "in function main", "registers:", "=>", "last 16 instructions:", "sp "} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunTracedBudget(t *testing.T) {
+	prog, err := lang.Compile(`func main() { var i int; i = 0; while (i < 1) { i = 0; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunTraced(m, NewRing(4), 1000); !errors.Is(err, vm.ErrBudget) {
+		t.Fatalf("err = %v, want budget", err)
+	}
+}
+
+func TestRunTracedCompletion(t *testing.T) {
+	prog, err := lang.Compile(`func main() { var i int; i = 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing(64)
+	if err := RunTraced(m, ring, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted || ring.Len() == 0 {
+		t.Error("traced run did not complete with history")
+	}
+	// The history replays the actual PC sequence.
+	last := ring.Last()
+	for i := 1; i < len(last); i++ {
+		if last[i].Seq != last[i-1].Seq+1 {
+			t.Fatal("history sequence broken")
+		}
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	src := `
+		var g [4] float;
+		var out float;
+		func main() {
+			out = g[123456789012];
+		}
+	`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Attach(m, pin.Analyze(prog), core.Options{Mode: core.ModeEnhanced})
+	res := r.Run(1 << 20)
+	if res.Repairs != 1 {
+		t.Fatalf("repairs = %d", res.Repairs)
+	}
+	out := FormatEvents(res.Events)
+	for _, want := range []string{"repair 1: SIGSEGV", "H1:float-fill", "-> pc=0x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("events missing %q:\n%s", want, out)
+		}
+	}
+	if FormatEvents(nil) != "" {
+		t.Error("empty events should format empty")
+	}
+}
+
+func TestCrashReportWithoutRing(t *testing.T) {
+	prog, err := lang.Compile(`var g [2] float; func main() { g[0] = g[5555555555]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run(1 << 16)
+	var trap *vm.Trap
+	if !errors.As(runErr, &trap) {
+		t.Fatal(runErr)
+	}
+	var sb strings.Builder
+	CrashReport(&sb, m, trap, nil)
+	if !strings.Contains(sb.String(), "registers:") {
+		t.Error("report without ring broken")
+	}
+	if strings.Contains(sb.String(), "last ") {
+		t.Error("report without ring mentions history")
+	}
+	_ = isa.NumIntRegs
+}

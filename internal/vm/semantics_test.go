@@ -1,0 +1,240 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// TestOpcodeSemanticsTable drives every ALU/comparison/conversion opcode
+// through a table of concrete cases, including signedness, overflow and
+// IEEE edge cases.
+func TestOpcodeSemanticsTable(t *testing.T) {
+	intCases := []struct {
+		name string
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{"add", isa.ADD, 3, 4, 7},
+		{"add-overflow-wraps", isa.ADD, math.MaxInt64, 1, math.MinInt64},
+		{"sub", isa.SUB, 3, 10, -7},
+		{"mul", isa.MUL, -3, 7, -21},
+		{"mul-overflow-wraps", isa.MUL, math.MaxInt64, 2, -2},
+		{"div-trunc", isa.DIV, -7, 2, -3},
+		{"div-minint-minus1", isa.DIV, math.MinInt64, -1, math.MinInt64},
+		{"rem-sign", isa.REM, -7, 2, -1},
+		{"and", isa.AND, 0b1100, 0b1010, 0b1000},
+		{"or", isa.OR, 0b1100, 0b1010, 0b1110},
+		{"xor", isa.XOR, 0b1100, 0b1010, 0b0110},
+		{"shl", isa.SHL, 1, 10, 1024},
+		{"shr-logical", isa.SHR, -1, 1, math.MaxInt64},
+		{"seq-true", isa.SEQ, 5, 5, 1},
+		{"seq-false", isa.SEQ, 5, 6, 0},
+		{"sne", isa.SNE, 5, 6, 1},
+		{"slt-signed", isa.SLT, -1, 0, 1},
+		{"slt-false", isa.SLT, 0, -1, 0},
+		{"sle-equal", isa.SLE, 4, 4, 1},
+	}
+	for _, c := range intCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, prog(
+				isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: c.a},
+				isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: c.b},
+				isa.Instruction{Op: c.op, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+				isa.Instruction{Op: isa.HALT},
+			))
+			run(t, m)
+			if got := int64(m.X[isa.X3]); got != c.want {
+				t.Errorf("%v(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+			}
+		})
+	}
+
+	floatCases := []struct {
+		name string
+		op   isa.Op
+		a, b float64
+		want float64
+	}{
+		{"fadd", isa.FADD, 1.5, 2.25, 3.75},
+		{"fsub", isa.FSUB, 1.0, 2.5, -1.5},
+		{"fmul", isa.FMUL, -2, 3.5, -7},
+		{"fdiv", isa.FDIV, 1, 8, 0.125},
+		{"fdiv-by-zero-inf", isa.FDIV, 1, 0, math.Inf(1)},
+		{"fdiv-neg-zero", isa.FDIV, -1, math.Inf(1), math.Copysign(0, -1)},
+		{"fmin", isa.FMIN, 2, -3, -3},
+		{"fmax", isa.FMAX, 2, -3, 2},
+		{"fadd-inf", isa.FADD, math.Inf(1), 1, math.Inf(1)},
+	}
+	for _, c := range floatCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, prog(
+				isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(c.a),
+				isa.Instruction{Op: isa.FLI, Rd: isa.F2}.WithFloat(c.b),
+				isa.Instruction{Op: c.op, Rd: isa.F3, Rs1: isa.F1, Rs2: isa.F2},
+				isa.Instruction{Op: isa.HALT},
+			))
+			run(t, m)
+			if got := m.F[isa.F3]; math.Float64bits(got) != math.Float64bits(c.want) {
+				t.Errorf("%v(%v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+			}
+		})
+	}
+
+	fcmpCases := []struct {
+		name string
+		op   isa.Op
+		a, b float64
+		want uint64
+	}{
+		{"feq-true", isa.FEQ, 2.5, 2.5, 1},
+		{"feq-nan", isa.FEQ, math.NaN(), math.NaN(), 0},
+		{"fne-nan", isa.FNE, math.NaN(), math.NaN(), 1},
+		{"flt", isa.FLT, 1, 2, 1},
+		{"flt-nan", isa.FLT, math.NaN(), 2, 0},
+		{"fle-equal", isa.FLE, 2, 2, 1},
+	}
+	for _, c := range fcmpCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, prog(
+				isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(c.a),
+				isa.Instruction{Op: isa.FLI, Rd: isa.F2}.WithFloat(c.b),
+				isa.Instruction{Op: c.op, Rd: isa.X3, Rs1: isa.F1, Rs2: isa.F2},
+				isa.Instruction{Op: isa.HALT},
+			))
+			run(t, m)
+			if m.X[isa.X3] != c.want {
+				t.Errorf("%v(%v, %v) = %d, want %d", c.op, c.a, c.b, m.X[isa.X3], c.want)
+			}
+		})
+	}
+
+	unaryCases := []struct {
+		name string
+		op   isa.Op
+		a    float64
+		want float64
+	}{
+		{"fneg", isa.FNEG, 2.5, -2.5},
+		{"fneg-zero", isa.FNEG, 0, math.Copysign(0, -1)},
+		{"fabs", isa.FABS, -3.25, 3.25},
+		{"fsqrt", isa.FSQRT, 2.25, 1.5},
+		{"fsqrt-negative-nan", isa.FSQRT, -1, math.NaN()},
+		{"fmov", isa.FMOV, 7.5, 7.5},
+	}
+	for _, c := range unaryCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, prog(
+				isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(c.a),
+				isa.Instruction{Op: c.op, Rd: isa.F2, Rs1: isa.F1},
+				isa.Instruction{Op: isa.HALT},
+			))
+			run(t, m)
+			got := m.F[isa.F2]
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("%v(%v) = %v, want NaN", c.op, c.a, got)
+				}
+				return
+			}
+			if math.Float64bits(got) != math.Float64bits(c.want) {
+				t.Errorf("%v(%v) = %v, want %v", c.op, c.a, got, c.want)
+			}
+		})
+	}
+}
+
+// TestEveryOpcodeExecutable asserts the interpreter handles every defined
+// opcode (no silent fall-through to the default trap).
+func TestEveryOpcodeExecutable(t *testing.T) {
+	g := int64(isa.GlobalBase)
+	// A program exercising each opcode at least once; checked by running
+	// to completion with all opcodes covered.
+	instrs := []isa.Instruction{
+		{Op: isa.NOP},
+		{Op: isa.LI, Rd: isa.X1, Imm: 8},
+		{Op: isa.LI, Rd: isa.X2, Imm: 2},
+		{Op: isa.ADD, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SUB, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.MUL, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.DIV, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.REM, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.AND, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.OR, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.XOR, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SHL, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SHR, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.ADDI, Rd: isa.X3, Rs1: isa.X1, Imm: 1},
+		{Op: isa.MULI, Rd: isa.X3, Rs1: isa.X1, Imm: 3},
+		{Op: isa.ANDI, Rd: isa.X3, Rs1: isa.X1, Imm: 0xF},
+		{Op: isa.MOV, Rd: isa.X4, Rs1: isa.X1},
+		{Op: isa.NEG, Rd: isa.X4, Rs1: isa.X1},
+		{Op: isa.NOT, Rd: isa.X4, Rs1: isa.X1},
+		{Op: isa.SEQ, Rd: isa.X5, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SNE, Rd: isa.X5, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SLT, Rd: isa.X5, Rs1: isa.X1, Rs2: isa.X2},
+		{Op: isa.SLE, Rd: isa.X5, Rs1: isa.X1, Rs2: isa.X2},
+		isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(2.5),
+		isa.Instruction{Op: isa.FLI, Rd: isa.F2}.WithFloat(0.5),
+		{Op: isa.FEQ, Rd: isa.X5, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FNE, Rd: isa.X5, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FLT, Rd: isa.X5, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FLE, Rd: isa.X5, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.LI, Rd: isa.X6, Imm: g},
+		{Op: isa.ST, Rs2: isa.X1, Rs1: isa.X6, Imm: 0},
+		{Op: isa.LD, Rd: isa.X7, Rs1: isa.X6, Imm: 0},
+		{Op: isa.FST, Rs2: isa.F1, Rs1: isa.X6, Imm: 8},
+		{Op: isa.FLD, Rd: isa.F3, Rs1: isa.X6, Imm: 8},
+		{Op: isa.PUSH, Rs1: isa.X1},
+		{Op: isa.POP, Rd: isa.X8},
+		{Op: isa.FADD, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FSUB, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FMUL, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FDIV, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FMIN, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FMAX, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+		{Op: isa.FMOV, Rd: isa.F5, Rs1: isa.F1},
+		{Op: isa.FNEG, Rd: isa.F5, Rs1: isa.F1},
+		{Op: isa.FABS, Rd: isa.F5, Rs1: isa.F1},
+		{Op: isa.FSQRT, Rd: isa.F5, Rs1: isa.F1},
+		{Op: isa.I2F, Rd: isa.F6, Rs1: isa.X1},
+		{Op: isa.F2I, Rd: isa.X9, Rs1: isa.F1},
+		{Op: isa.PRINTI, Rs1: isa.X1},
+		{Op: isa.PRINTF, Rs1: isa.F1},
+		{Op: isa.CYCLES, Rd: isa.X10},
+	}
+	// Control flow: exercise JMP/branches/CALL/RET at the end.
+	base := len(instrs)
+	instrs = append(instrs,
+		isa.Instruction{Op: isa.JMP, Imm: int64(addr(base + 1))},
+		isa.Instruction{Op: isa.BEQ, Rs1: isa.X1, Rs2: isa.X1, Imm: int64(addr(base + 2))},
+		isa.Instruction{Op: isa.BNE, Rs1: isa.X1, Rs2: isa.X2, Imm: int64(addr(base + 3))},
+		isa.Instruction{Op: isa.BLT, Rs1: isa.X2, Rs2: isa.X1, Imm: int64(addr(base + 4))},
+		isa.Instruction{Op: isa.BGE, Rs1: isa.X1, Rs2: isa.X2, Imm: int64(addr(base + 5))},
+		isa.Instruction{Op: isa.CALL, Imm: int64(addr(base + 7))}, // -> RET below
+		isa.Instruction{Op: isa.HALT},
+		isa.Instruction{Op: isa.RET},
+	)
+
+	covered := map[isa.Op]bool{}
+	for _, in := range instrs {
+		covered[in.Op] = true
+	}
+	covered[isa.ABORT] = true // exercised in TestAbortAndDivideByZero
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if !covered[op] {
+			t.Errorf("opcode %v not covered by the executable sweep", op)
+		}
+	}
+
+	m := newMachine(t, prog(instrs...))
+	run(t, m)
+	if !m.Halted {
+		t.Fatal("sweep did not halt")
+	}
+	if m.Retired != uint64(len(instrs)) {
+		t.Errorf("retired %d of %d", m.Retired, len(instrs))
+	}
+}

@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/mem"
+)
+
+// Snapshot is a restorable copy of the full architectural state of a
+// machine: registers, PC, retirement counter and data memory. It is the
+// VM-level equivalent of a system-level checkpoint image, and what the
+// cluster harness writes at every coordinated checkpoint.
+type Snapshot struct {
+	X       [isa.NumIntRegs]uint64
+	F       [isa.NumFloatRegs]float64
+	PC      uint64
+	Retired uint64
+	Halted  bool
+	Mem     *mem.Memory
+}
+
+// Checkpoint captures the machine's current architectural state.
+func (m *Machine) Checkpoint() *Snapshot {
+	return &Snapshot{
+		X:       m.X,
+		F:       m.F,
+		PC:      m.PC,
+		Retired: m.Retired,
+		Halted:  m.Halted,
+		Mem:     m.Mem.Snapshot(),
+	}
+}
+
+// Restore rewinds the machine to a previously captured snapshot. The
+// snapshot itself remains valid (restoring copies it again), so one
+// checkpoint can be restored repeatedly — exactly the C/R usage pattern.
+func (m *Machine) Restore(s *Snapshot) {
+	m.X = s.X
+	m.F = s.F
+	m.PC = s.PC
+	m.Retired = s.Retired
+	m.Halted = s.Halted
+	m.Mem = s.Mem.Snapshot()
+}
+
+// snapMagic guards the serialized snapshot format.
+var snapMagic = []byte("LGSN")
+
+// WriteTo serializes the snapshot (registers + every mapped segment's
+// bytes) — the persistent-storage half of a checkpointing scheme. The
+// byte count written is what a C/R model would charge as checkpoint size.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.Write(snapMagic)
+	le := binary.LittleEndian
+	var b8 [8]byte
+	put := func(v uint64) { le.PutUint64(b8[:], v); buf.Write(b8[:]) }
+
+	for _, x := range s.X {
+		put(x)
+	}
+	for _, f := range s.F {
+		put(math.Float64bits(f))
+	}
+	put(s.PC)
+	put(s.Retired)
+	if s.Halted {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+
+	segs := s.Mem.Segments()
+	put(uint64(len(segs)))
+	for _, seg := range segs {
+		put(uint64(len(seg.Name)))
+		buf.WriteString(seg.Name)
+		put(seg.Base)
+		put(seg.Size)
+		data, err := s.Mem.ReadBytes(seg.Base, seg.Size)
+		if err != nil {
+			return 0, fmt.Errorf("vm: snapshot segment %q: %w", seg.Name, err)
+		}
+		buf.Write(data)
+	}
+	return buf.WriteTo(w)
+}
+
+// ReadSnapshot parses a serialized snapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapMagic) {
+		return nil, fmt.Errorf("vm: bad snapshot magic")
+	}
+	le := binary.LittleEndian
+	var b8 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(b8[:]), nil
+	}
+
+	s := &Snapshot{Mem: mem.New()}
+	var err error
+	for i := range s.X {
+		if s.X[i], err = get(); err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+	}
+	for i := range s.F {
+		u, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+		s.F[i] = math.Float64frombits(u)
+	}
+	if s.PC, err = get(); err != nil {
+		return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+	}
+	if s.Retired, err = get(); err != nil {
+		return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+	}
+	var hb [1]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+	}
+	s.Halted = hb[0] == 1
+
+	nsegs, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+	}
+	if nsegs > 1024 {
+		return nil, fmt.Errorf("vm: implausible segment count %d", nsegs)
+	}
+	for i := uint64(0); i < nsegs; i++ {
+		nameLen, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("vm: implausible segment name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+		base, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+		size, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot: %w", err)
+		}
+		if err := s.Mem.Map(string(name), base, size); err != nil {
+			return nil, err
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("vm: truncated snapshot segment: %w", err)
+		}
+		if err := s.Mem.WriteBytes(base, data); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

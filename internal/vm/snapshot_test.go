@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// checkpointProg counts to a large number so we can checkpoint mid-run.
+func checkpointProg() *isa.Program {
+	return prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: 0},                             // 0
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 1 << 16},                       // 1
+		isa.Instruction{Op: isa.BGE, Rs1: isa.X1, Rs2: isa.X2, Imm: int64(addr(5))}, // 2
+		isa.Instruction{Op: isa.ADDI, Rd: isa.X1, Rs1: isa.X1, Imm: 1},              // 3
+		isa.Instruction{Op: isa.JMP, Imm: int64(addr(2))},                           // 4
+		isa.Instruction{Op: isa.HALT},                                               // 5
+	)
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m := newMachine(t, checkpointProg())
+	// Run part way, checkpoint, run to completion.
+	for m.Retired < 1000 {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Mem.WriteFloat(isa.GlobalBase+64, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Checkpoint()
+	midCounter := m.X[isa.X1]
+
+	run(t, m)
+	if !m.Halted {
+		t.Fatal("did not halt")
+	}
+
+	// Roll back and verify the full state returned.
+	m.Restore(snap)
+	if m.Halted || m.Retired != snap.Retired || m.X[isa.X1] != midCounter {
+		t.Fatalf("restore lost state: %+v", m)
+	}
+	v, err := m.Mem.ReadFloat(isa.GlobalBase + 64)
+	if err != nil || v != 3.5 {
+		t.Fatalf("restored memory = %v, %v", v, err)
+	}
+	// The restored machine re-runs to the same completion.
+	run(t, m)
+	if m.X[isa.X1] != 1<<16 {
+		t.Errorf("x1 = %d after re-run", m.X[isa.X1])
+	}
+}
+
+func TestRestoreIsRepeatable(t *testing.T) {
+	m := newMachine(t, checkpointProg())
+	for m.Retired < 500 {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Checkpoint()
+	for attempt := 0; attempt < 3; attempt++ {
+		m.Restore(snap)
+		run(t, m)
+		if m.X[isa.X1] != 1<<16 {
+			t.Fatalf("attempt %d: x1 = %d", attempt, m.X[isa.X1])
+		}
+	}
+}
+
+func TestRestoreIsolatesMemory(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.HALT}))
+	snap := m.Checkpoint()
+	// Mutating the machine after restore must not leak into the snapshot.
+	m.Restore(snap)
+	if err := m.Mem.Write8(isa.GlobalBase, 42); err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine(t, prog(isa.Instruction{Op: isa.HALT}))
+	m2.Restore(snap)
+	v, err := m2.Mem.Read8(isa.GlobalBase)
+	if err != nil || v != 0 {
+		t.Fatalf("snapshot contaminated: %d, %v", v, err)
+	}
+}
+
+func TestSnapshotSerialization(t *testing.T) {
+	m := newMachine(t, checkpointProg())
+	for m.Retired < 100 {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.F[isa.F7] = -2.25
+	if err := m.Mem.Write8(isa.GlobalBase+8, 0xABCDEF); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Checkpoint()
+
+	var buf bytes.Buffer
+	n, err := snap.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PC != snap.PC || loaded.Retired != snap.Retired || loaded.Halted != snap.Halted {
+		t.Error("header mismatch")
+	}
+	if loaded.X != snap.X || loaded.F != snap.F {
+		t.Error("registers mismatch")
+	}
+	v, err := loaded.Mem.Read8(isa.GlobalBase + 8)
+	if err != nil || v != 0xABCDEF {
+		t.Fatalf("memory mismatch: %#x, %v", v, err)
+	}
+
+	// Restoring from the deserialized snapshot resumes correctly.
+	m2 := newMachine(t, checkpointProg())
+	m2.Restore(loaded)
+	run(t, m2)
+	if m2.X[isa.X1] != 1<<16 {
+		t.Errorf("x1 = %d after restore from bytes", m2.X[isa.X1])
+	}
+}
+
+func TestReadSnapshotRejectsCorrupt(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.HALT}))
+	var buf bytes.Buffer
+	if _, err := m.Checkpoint().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadSnapshot(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}

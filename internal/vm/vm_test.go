@@ -1,0 +1,392 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// prog builds a program whose code is the given instructions, entry at the
+// first one, with a small global segment.
+func prog(instrs ...isa.Instruction) *isa.Program {
+	return &isa.Program{
+		Instrs:  instrs,
+		Entry:   isa.CodeBase,
+		Globals: 4096,
+	}
+}
+
+func newMachine(t *testing.T, p *isa.Program) *Machine {
+	t.Helper()
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func run(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func addr(i int) uint64 { return isa.CodeBase + uint64(i)*isa.InstrBytes }
+
+func TestIntArithmetic(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: 21},
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 2},
+		isa.Instruction{Op: isa.MUL, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		isa.Instruction{Op: isa.ADDI, Rd: isa.X3, Rs1: isa.X3, Imm: -2},
+		isa.Instruction{Op: isa.DIV, Rd: isa.X4, Rs1: isa.X3, Rs2: isa.X2},
+		isa.Instruction{Op: isa.REM, Rd: isa.X5, Rs1: isa.X3, Rs2: isa.X1},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if got := int64(m.X[isa.X3]); got != 40 {
+		t.Errorf("x3 = %d, want 40", got)
+	}
+	if got := int64(m.X[isa.X4]); got != 20 {
+		t.Errorf("x4 = %d, want 20", got)
+	}
+	if got := int64(m.X[isa.X5]); got != 40%21 {
+		t.Errorf("x5 = %d, want %d", got, 40%21)
+	}
+	if m.Retired != 7 {
+		t.Errorf("retired = %d, want 7", m.Retired)
+	}
+}
+
+func TestSignedComparisonsAndLogic(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: -5},
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 3},
+		isa.Instruction{Op: isa.SLT, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2}, // -5 < 3 -> 1
+		isa.Instruction{Op: isa.SLE, Rd: isa.X4, Rs1: isa.X2, Rs2: isa.X2}, // 1
+		isa.Instruction{Op: isa.SEQ, Rd: isa.X5, Rs1: isa.X1, Rs2: isa.X2}, // 0
+		isa.Instruction{Op: isa.SNE, Rd: isa.X6, Rs1: isa.X1, Rs2: isa.X2}, // 1
+		isa.Instruction{Op: isa.XOR, Rd: isa.X7, Rs1: isa.X1, Rs2: isa.X1}, // 0
+		isa.Instruction{Op: isa.NOT, Rd: isa.X8, Rs1: isa.X7},              // ~0
+		isa.Instruction{Op: isa.NEG, Rd: isa.X9, Rs1: isa.X2},              // -3
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	want := map[isa.Reg]int64{isa.X3: 1, isa.X4: 1, isa.X5: 0, isa.X6: 1, isa.X7: 0, isa.X8: -1, isa.X9: -3}
+	for r, w := range want {
+		if got := int64(m.X[r]); got != w {
+			t.Errorf("%s = %d, want %d", isa.IntRegName(r), got, w)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(9.0),
+		isa.Instruction{Op: isa.FSQRT, Rd: isa.F2, Rs1: isa.F1},
+		isa.Instruction{Op: isa.FLI, Rd: isa.F3}.WithFloat(-2.5),
+		isa.Instruction{Op: isa.FABS, Rd: isa.F4, Rs1: isa.F3},
+		isa.Instruction{Op: isa.FADD, Rd: isa.F5, Rs1: isa.F2, Rs2: isa.F4},
+		isa.Instruction{Op: isa.FMIN, Rd: isa.F6, Rs1: isa.F2, Rs2: isa.F4},
+		isa.Instruction{Op: isa.FMAX, Rd: isa.F7, Rs1: isa.F2, Rs2: isa.F4},
+		isa.Instruction{Op: isa.FDIV, Rd: isa.F8, Rs1: isa.F5, Rs2: isa.F6},
+		isa.Instruction{Op: isa.FLT, Rd: isa.X1, Rs1: isa.F6, Rs2: isa.F7},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if m.F[isa.F2] != 3 || m.F[isa.F4] != 2.5 || m.F[isa.F5] != 5.5 {
+		t.Errorf("f2,f4,f5 = %v,%v,%v", m.F[isa.F2], m.F[isa.F4], m.F[isa.F5])
+	}
+	if m.F[isa.F6] != 2.5 || m.F[isa.F7] != 3 {
+		t.Errorf("fmin/fmax = %v/%v", m.F[isa.F6], m.F[isa.F7])
+	}
+	if m.F[isa.F8] != 5.5/2.5 {
+		t.Errorf("fdiv = %v", m.F[isa.F8])
+	}
+	if m.X[isa.X1] != 1 {
+		t.Errorf("flt = %d, want 1", m.X[isa.X1])
+	}
+}
+
+func TestConversions(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: -7},
+		isa.Instruction{Op: isa.I2F, Rd: isa.F1, Rs1: isa.X1},
+		isa.Instruction{Op: isa.FLI, Rd: isa.F2}.WithFloat(3.9),
+		isa.Instruction{Op: isa.F2I, Rd: isa.X2, Rs1: isa.F2},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if m.F[isa.F1] != -7 {
+		t.Errorf("i2f = %v", m.F[isa.F1])
+	}
+	if int64(m.X[isa.X2]) != 3 {
+		t.Errorf("f2i = %d, want 3 (truncation)", int64(m.X[isa.X2]))
+	}
+}
+
+func TestF2ISaturation(t *testing.T) {
+	if f2i(math.NaN()) != 0 {
+		t.Error("NaN should convert to 0")
+	}
+	if int64(f2i(1e300)) != math.MaxInt64 {
+		t.Error("huge positive should saturate")
+	}
+	if int64(f2i(-1e300)) != math.MinInt64 {
+		t.Error("huge negative should saturate")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	g := int64(isa.GlobalBase)
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: g},
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 12345},
+		isa.Instruction{Op: isa.ST, Rs2: isa.X2, Rs1: isa.X1, Imm: 16},
+		isa.Instruction{Op: isa.LD, Rd: isa.X3, Rs1: isa.X1, Imm: 16},
+		isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(2.75),
+		isa.Instruction{Op: isa.FST, Rs2: isa.F1, Rs1: isa.X1, Imm: 24},
+		isa.Instruction{Op: isa.FLD, Rd: isa.F2, Rs1: isa.X1, Imm: 24},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if m.X[isa.X3] != 12345 {
+		t.Errorf("ld = %d", m.X[isa.X3])
+	}
+	if m.F[isa.F2] != 2.75 {
+		t.Errorf("fld = %v", m.F[isa.F2])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// sum = 0; for i = 0; i < 10; i++ { sum += i }
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: 0},                             // 0: i
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 0},                             // 1: sum
+		isa.Instruction{Op: isa.LI, Rd: isa.X3, Imm: 10},                            // 2: limit
+		isa.Instruction{Op: isa.BGE, Rs1: isa.X1, Rs2: isa.X3, Imm: int64(addr(7))}, // 3
+		isa.Instruction{Op: isa.ADD, Rd: isa.X2, Rs1: isa.X2, Rs2: isa.X1},          // 4
+		isa.Instruction{Op: isa.ADDI, Rd: isa.X1, Rs1: isa.X1, Imm: 1},              // 5
+		isa.Instruction{Op: isa.JMP, Imm: int64(addr(3))},                           // 6
+		isa.Instruction{Op: isa.HALT},                                               // 7
+	))
+	run(t, m)
+	if m.X[isa.X2] != 45 {
+		t.Errorf("sum = %d, want 45", m.X[isa.X2])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	// main: call f; halt.  f: push bp; mov bp,sp; li x0,99; pop bp; ret
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.CALL, Imm: int64(addr(2))}, // 0
+		isa.Instruction{Op: isa.HALT},                      // 1
+		isa.Instruction{Op: isa.PUSH, Rs1: isa.BP},         // 2
+		isa.Instruction{Op: isa.MOV, Rd: isa.BP, Rs1: isa.SP},
+		isa.Instruction{Op: isa.LI, Rd: isa.X0, Imm: 99},
+		isa.Instruction{Op: isa.POP, Rd: isa.BP},
+		isa.Instruction{Op: isa.RET},
+	))
+	spBefore := m.X[isa.SP]
+	run(t, m)
+	if m.X[isa.X0] != 99 {
+		t.Errorf("x0 = %d, want 99", m.X[isa.X0])
+	}
+	if m.X[isa.SP] != spBefore {
+		t.Errorf("sp not balanced: %#x vs %#x", m.X[isa.SP], spBefore)
+	}
+	if m.X[isa.BP] != spBefore {
+		t.Errorf("bp clobbered: %#x", m.X[isa.BP])
+	}
+}
+
+func TestSegfaultOnWildLoad(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: int64(0x4000_0000_0000)},
+		isa.Instruction{Op: isa.LD, Rd: isa.X2, Rs1: isa.X1, Imm: 0},
+		isa.Instruction{Op: isa.HALT},
+	))
+	err := m.Run(100)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGSEGV {
+		t.Fatalf("err = %v, want SIGSEGV trap", err)
+	}
+	if trap.PC != addr(1) {
+		t.Errorf("trap pc = %#x, want %#x", trap.PC, addr(1))
+	}
+	// State must be untouched: PC still at the faulting instruction and
+	// the destination register unwritten.
+	if m.PC != addr(1) || m.X[isa.X2] != 0 {
+		t.Error("trap committed state")
+	}
+}
+
+func TestBusErrorOnMisalignedAccess(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: int64(isa.GlobalBase + 1)},
+		isa.Instruction{Op: isa.LD, Rd: isa.X2, Rs1: isa.X1, Imm: 0},
+	))
+	err := m.Run(100)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGBUS {
+		t.Fatalf("err = %v, want SIGBUS trap", err)
+	}
+}
+
+func TestAbortAndDivideByZero(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.ABORT}))
+	err := m.Run(10)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGABRT {
+		t.Fatalf("abort err = %v", err)
+	}
+
+	m = newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: 3},
+		isa.Instruction{Op: isa.DIV, Rd: isa.X2, Rs1: isa.X1, Rs2: isa.X3},
+	))
+	err = m.Run(10)
+	if !errors.As(err, &trap) || trap.Signal != SIGFPE {
+		t.Fatalf("div err = %v, want SIGFPE", err)
+	}
+}
+
+func TestFetchFaultOnWildPC(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.JMP, Imm: 0x99999000},
+		isa.Instruction{Op: isa.HALT},
+	))
+	err := m.Run(10)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGSEGV || !trap.Fetch {
+		t.Fatalf("err = %v, want fetch SIGSEGV", err)
+	}
+}
+
+func TestPushFaultDoesNotMoveSP(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.PUSH, Rs1: isa.X1}))
+	m.X[isa.SP] = 0x4000_0000 // corrupted sp far outside the stack
+	err := m.Run(10)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGSEGV {
+		t.Fatalf("err = %v", err)
+	}
+	if m.X[isa.SP] != 0x4000_0000 {
+		t.Error("faulting PUSH moved sp")
+	}
+}
+
+func TestRetWithCorruptSPFaults(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.RET}))
+	m.X[isa.SP] = 0xDEAD0000_0000
+	err := m.Run(10)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGSEGV {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBudgetHang(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.JMP, Imm: int64(isa.CodeBase)},
+	))
+	if err := m.Run(1000); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if m.Retired != 1000 {
+		t.Errorf("retired = %d", m.Retired)
+	}
+}
+
+func TestHostOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: -42},
+		isa.Instruction{Op: isa.PRINTI, Rs1: isa.X1},
+		isa.Instruction{Op: isa.FLI, Rd: isa.F1}.WithFloat(0.5),
+		isa.Instruction{Op: isa.PRINTF, Rs1: isa.F1},
+		isa.Instruction{Op: isa.HALT},
+	)
+	m, err := New(p, Config{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if got := buf.String(); got != "-42\n0.5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestCyclesInstr(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.NOP},
+		isa.Instruction{Op: isa.NOP},
+		isa.Instruction{Op: isa.CYCLES, Rd: isa.X1},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if m.X[isa.X1] != 2 {
+		t.Errorf("cycles = %d, want 2", m.X[isa.X1])
+	}
+}
+
+func TestGlobalAccessors(t *testing.T) {
+	p := prog(isa.Instruction{Op: isa.HALT})
+	p.Symbols = []isa.Symbol{
+		{Name: "energy", Kind: isa.SymGlobal, Addr: isa.GlobalBase, Size: 8},
+		{Name: "grid", Kind: isa.SymGlobal, Addr: isa.GlobalBase + 8, Size: 32},
+		{Name: "main", Kind: isa.SymFunc, Addr: isa.CodeBase, Size: 4},
+	}
+	m := newMachine(t, p)
+	if err := m.Mem.WriteFloat(isa.GlobalBase, 6.25); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.Mem.WriteFloat(isa.GlobalBase+8+uint64(i*8), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := m.ReadGlobalFloat("energy", 0)
+	if err != nil || v != 6.25 {
+		t.Fatalf("energy = %v, %v", v, err)
+	}
+	vs, err := m.ReadGlobalFloats("grid", 4)
+	if err != nil || vs[3] != 3 {
+		t.Fatalf("grid = %v, %v", vs, err)
+	}
+	if _, err := m.ReadGlobalFloat("energy", 8); err == nil {
+		t.Error("out-of-bounds offset accepted")
+	}
+	if _, err := m.ReadGlobalFloat("main", 0); err == nil {
+		t.Error("function symbol accepted as global")
+	}
+	if _, err := m.ReadGlobalFloats("grid", 10); err == nil {
+		t.Error("overlong read accepted")
+	}
+}
+
+func TestStepOnHaltedMachine(t *testing.T) {
+	m := newMachine(t, prog(isa.Instruction{Op: isa.HALT}))
+	run(t, m)
+	if err := m.Step(); err == nil {
+		t.Error("step on halted machine succeeded")
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: 1},
+		isa.Instruction{Op: isa.LI, Rd: isa.X2, Imm: 65}, // masked to 1
+		isa.Instruction{Op: isa.SHL, Rd: isa.X3, Rs1: isa.X1, Rs2: isa.X2},
+		isa.Instruction{Op: isa.SHR, Rd: isa.X4, Rs1: isa.X3, Rs2: isa.X2},
+		isa.Instruction{Op: isa.HALT},
+	))
+	run(t, m)
+	if m.X[isa.X3] != 2 || m.X[isa.X4] != 1 {
+		t.Errorf("shl/shr = %d/%d", m.X[isa.X3], m.X[isa.X4])
+	}
+}

@@ -1,0 +1,166 @@
+package letgo
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickSrc = `
+	var out float;
+	func main() {
+		var i int;
+		var acc float;
+		for (i = 0; i < 100; i = i + 1) {
+			acc = acc + sqrt(float(i));
+		}
+		out = acc;
+	}
+`
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(p, MachineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadGlobalFloat("out", 0)
+	if err != nil || v < 600 || v > 700 {
+		t.Fatalf("out = %v, %v", v, err)
+	}
+}
+
+func TestCompileToAsmAndAssemble(t *testing.T) {
+	text, err := CompileToAsm(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(p)
+	if !strings.Contains(dis, "main:") {
+		t.Error("disassembly missing main")
+	}
+}
+
+func TestRunUnderLetGo(t *testing.T) {
+	// A program whose pointer is corrupted mid-run: dies bare, survives
+	// under LetGo-E.
+	src := `
+		var data [16] float;
+		var out float;
+		func main() {
+			var i int;
+			for (i = 0; i < 16; i = i + 1) { data[i] = float(i); }
+			out = data[5] + data[700000000];   // wild index: SIGSEGV
+			out = out + 1.0;
+		}
+	`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(p, Options{Mode: ModeEnhanced}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RunCompleted || res.Repairs != 1 {
+		t.Fatalf("res = %+v, want one elided crash", res)
+	}
+	// Without LetGo the same program must die: simulate by intercepting
+	// nothing.
+	res2, _, err := Run(p, Options{Mode: ModeEnhanced, Signals: []Signal{}}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != RunCrashed || res2.Signal != SIGSEGV {
+		t.Fatalf("res2 = %+v, want SIGSEGV crash", res2)
+	}
+}
+
+func TestAppsExposed(t *testing.T) {
+	if len(Apps()) != 6 || len(IterativeApps()) != 5 {
+		t.Fatal("app registry wrong")
+	}
+	a, ok := AppByName("SNAP")
+	if !ok {
+		t.Fatal("SNAP missing")
+	}
+	if _, err := a.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignThroughFacade(t *testing.T) {
+	a, _ := AppByName("SNAP")
+	c := &Campaign{App: a, Mode: LetGoE, N: 60, Seed: 5}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.N != 60 {
+		t.Fatalf("N = %d", r.Counts.N)
+	}
+	probs, err := ProbabilitiesFromCampaign(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.PCrash <= 0 || probs.PCrash >= 1 {
+		t.Errorf("PCrash = %v", probs.PCrash)
+	}
+	if probs.PLetGo != r.Metrics.Continuability {
+		t.Error("PLetGo mismatch")
+	}
+	// Feed the measured probabilities into the C/R model.
+	params := CRParamsFor(probs, 120, 0.10, 21600)
+	std, err := SimulateStandard(params, NewRNG(1), 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := SimulateLetGo(params, NewRNG(2), 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Efficiency() <= 0 || lg.Efficiency() <= 0 {
+		t.Error("efficiencies not positive")
+	}
+}
+
+func TestProbabilitiesFromCampaignValidation(t *testing.T) {
+	if _, err := ProbabilitiesFromCampaign(nil); err == nil {
+		t.Error("nil campaign accepted")
+	}
+	if _, err := ProbabilitiesFromCampaign(&CampaignResult{}); err == nil {
+		t.Error("empty campaign accepted")
+	}
+}
+
+func TestPaperSeededFigures(t *testing.T) {
+	if len(PaperApps()) != 5 {
+		t.Fatal("paper apps wrong")
+	}
+	app, ok := PaperAppByName("LULESH")
+	if !ok {
+		t.Fatal("LULESH paper probabilities missing")
+	}
+	pts, err := Figure7(app, 3)
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("Figure7: %v, %d points", err, len(pts))
+	}
+	for _, p := range pts {
+		if p.Gain() < 0 {
+			t.Errorf("negative gain at tchk=%v", p.X)
+		}
+	}
+	pts8, err := Figure8(app, 1200, 4)
+	if err != nil || len(pts8) != 3 {
+		t.Fatalf("Figure8: %v", err)
+	}
+}
