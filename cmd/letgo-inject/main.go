@@ -19,9 +19,14 @@ import (
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/report"
 )
+
+// telem holds the optional observability sinks; all-off by default so
+// the tables printed on stdout are byte-identical without the flags.
+var telem *obs.Sinks
 
 func main() {
 	appSel := flag.String("apps", "iterative", "comma-separated app names, 'iterative', 'all', 'hpl' or 'extensions'")
@@ -31,6 +36,9 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "campaign seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	formatFlag := flag.String("format", "text", "output format: text, markdown, csv or json")
+	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
+	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
+	progress := flag.Bool("progress", false, "render live campaign progress on stderr")
 	flag.Parse()
 
 	format, err := report.ParseFormat(*formatFlag)
@@ -43,11 +51,14 @@ func main() {
 		fatal(err)
 	}
 
-	if *compare {
-		runCompare(sel, *n, *seed, *workers)
-		return
+	if telem, err = obs.OpenSinks(*metricsOut, *eventsJSON, *progress); err != nil {
+		fatal(err)
 	}
-	if format != report.Text {
+
+	switch {
+	case *compare:
+		runCompare(sel, *n, *seed, *workers)
+	case format != report.Text:
 		rows := make([]report.CampaignRow, 0, len(sel))
 		for _, a := range sel {
 			r := mustRun(&inject.Campaign{App: a, Mode: modeFromFlag(*mode), N: *n, Seed: *seed, Workers: *workers})
@@ -56,10 +67,12 @@ func main() {
 		if err := report.Campaigns(os.Stdout, format, rows); err != nil {
 			fatal(err)
 		}
-		return
+	default:
+		runTable(sel, modeFromFlag(*mode), *n, *seed, *workers)
 	}
-
-	runTable(sel, modeFromFlag(*mode), *n, *seed, *workers)
+	if err := telem.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func modeFromFlag(mode string) inject.Mode {
@@ -141,6 +154,10 @@ func runCompare(sel []*apps.App, n int, seed uint64, workers int) {
 }
 
 func mustRun(c *inject.Campaign) *inject.Result {
+	if telem.Enabled() {
+		c.Obs = telem.Hub
+		c.Observer = inject.NewObsObserver(c.App.Name, c.N, telem.Hub, telem.Progress)
+	}
 	r, err := c.Run()
 	if err != nil {
 		fatal(err)

@@ -22,10 +22,19 @@ import (
 	"github.com/letgo-hpc/letgo/internal/core"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/lang"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/trace"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
+
+// telem holds the optional observability sinks; all-off by default so
+// the stdout report is byte-identical without the flags.
+var telem *obs.Sinks
+
+// progressChunk is the instruction granularity at which a -progress run
+// surfaces its retired count between vm resumptions.
+const progressChunk = 1 << 22
 
 func main() {
 	appName := flag.String("app", "", "run a built-in benchmark app (LULESH, CLAMR, HPL, COMD, SNAP, PENNANT)")
@@ -33,10 +42,16 @@ func main() {
 	budget := flag.Uint64("budget", 1<<28, "instruction budget before declaring a hang")
 	events := flag.Bool("events", false, "print the LetGo repair event log")
 	traceN := flag.Int("trace", 0, "keep an N-instruction history and print a crash report on faults (mode off only)")
+	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
+	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
+	progress := flag.Bool("progress", false, "render live retired-instruction progress on stderr")
 	flag.Parse()
 
 	prog, app, err := loadProgram(*appName, flag.Args())
 	if err != nil {
+		fatal(err)
+	}
+	if telem, err = obs.OpenSinks(*metricsOut, *eventsJSON, *progress); err != nil {
 		fatal(err)
 	}
 
@@ -44,6 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if telem.Enabled() && telem.Hub != nil {
+		telem.Hub.Emit(obs.PhaseEvent{App: progName(app, flag.Args()), Phase: "run"})
+		m.OnTrap = func(t *vm.Trap) {
+			telem.Hub.Counter("letgo_vm_traps_total", "signal", t.Signal.String()).Inc()
+		}
+	}
+	telem.Progress.Start("run "+progName(app, flag.Args()), 0)
 
 	if strings.EqualFold(*mode, "off") {
 		var ring *trace.Ring
@@ -51,9 +73,11 @@ func main() {
 		if *traceN > 0 {
 			ring = trace.NewRing(*traceN)
 			err = trace.RunTraced(m, ring, *budget)
+			telem.Progress.Update(int(m.Retired))
 		} else {
-			err = m.Run(*budget)
+			err = runChunkedVM(m, *budget)
 		}
+		telem.Progress.Finish()
 		switch {
 		case err == nil:
 			fmt.Println("outcome: completed")
@@ -66,6 +90,7 @@ func main() {
 			}
 		}
 		report(app, m)
+		finishTelem(m)
 		return
 	}
 
@@ -73,14 +98,83 @@ func main() {
 	if strings.EqualFold(*mode, "B") {
 		opts.Mode = core.ModeBasic
 	}
+	if telem.Enabled() {
+		opts.Obs = telem.Hub
+	}
 	runner := core.Attach(m, pin.Analyze(prog), opts)
-	res := runner.Run(*budget)
+	res := runChunkedRunner(runner, m, *budget)
+	telem.Progress.Finish()
 	fmt.Printf("outcome: %v  signal: %v  crashes elided: %d  retired: %d\n",
 		res.Outcome, res.Signal, res.Repairs, res.Retired)
 	if *events {
 		fmt.Print(trace.FormatEvents(res.Events))
 	}
 	report(app, m)
+	finishTelem(m)
+}
+
+// runChunkedVM drives an unsupervised machine to completion. With live
+// progress enabled it resumes in fixed instruction chunks so the retired
+// count surfaces between resumptions; the chunking is invisible to the
+// program (the budget check in vm.Run is against the absolute retired
+// count).
+func runChunkedVM(m *vm.Machine, budget uint64) error {
+	if telem.Progress == nil {
+		return m.Run(budget)
+	}
+	for {
+		target := m.Retired + progressChunk
+		if target > budget {
+			target = budget
+		}
+		err := m.Run(target)
+		telem.Progress.Update(int(m.Retired))
+		if err != vm.ErrBudget || target >= budget {
+			return err
+		}
+	}
+}
+
+// runChunkedRunner is runChunkedVM for a LetGo-supervised run. The
+// runner keeps its repair state across resumptions, so the final Result
+// is identical to a single Run call.
+func runChunkedRunner(r *core.Runner, m *vm.Machine, budget uint64) core.Result {
+	if telem.Progress == nil {
+		return r.Run(budget)
+	}
+	for {
+		target := m.Retired + progressChunk
+		if target > budget {
+			target = budget
+		}
+		res := r.Run(target)
+		telem.Progress.Update(int(m.Retired))
+		if res.Outcome != core.RunHang || target >= budget {
+			return res
+		}
+	}
+}
+
+// finishTelem records final machine-level metrics and flushes the sinks.
+func finishTelem(m *vm.Machine) {
+	if telem.Enabled() && telem.Hub != nil {
+		telem.Hub.Reg.Help("letgo_vm_retired_instructions_total", "Instructions retired by the machine.")
+		telem.Hub.Counter("letgo_vm_retired_instructions_total").Add(m.Retired)
+	}
+	if err := telem.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// progName labels the run for events and progress.
+func progName(app *apps.App, args []string) string {
+	if app != nil {
+		return app.Name
+	}
+	if len(args) > 0 {
+		return args[0]
+	}
+	return "program"
 }
 
 // loadProgram resolves the input program from -app or a file argument.

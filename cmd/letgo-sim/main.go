@@ -22,9 +22,15 @@ import (
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/checkpoint"
 	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/report"
 	"github.com/letgo-hpc/letgo/internal/stats"
 )
+
+// telem holds the optional observability sinks (-metrics-out,
+// -events-json, -progress); all-off by default so the stdout figures
+// are byte-identical without the flags.
+var telem *obs.Sinks
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate a paper figure: 7 or 8 (0 = single configuration)")
@@ -38,6 +44,9 @@ func main() {
 	horizon := flag.Float64("horizon", checkpoint.DefaultHorizon, "simulated seconds")
 	advise := flag.Bool("advise", false, "print the operator recommendation (use LetGo or not) for this configuration")
 	formatFlag := flag.String("format", "text", "figure output format: text, markdown, csv or json")
+	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
+	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
+	progress := flag.Bool("progress", false, "render live simulation progress on stderr")
 	flag.Parse()
 
 	format, err := report.ParseFormat(*formatFlag)
@@ -45,9 +54,19 @@ func main() {
 		fatal(err)
 	}
 
+	if telem, err = obs.OpenSinks(*metricsOut, *eventsJSON, *progress); err != nil {
+		fatal(err)
+	}
+
 	probs, err := resolveProbabilities(*seedSource, *appName, *n, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	var tracer checkpoint.Tracer
+	if telem.Enabled() {
+		tracer = checkpoint.NewObsTracer(telem.Hub, telem.Progress)
+		telem.Hub.Emit(obs.PhaseEvent{App: probs.Name, Phase: "simulate"})
+		telem.Progress.Start("simulate "+probs.Name, 0)
 	}
 	if format == report.Text {
 		fmt.Printf("# %s: P_crash=%.3f P_v=%.3f P_v'=%.3f P_letgo=%.3f (%s)\n",
@@ -70,12 +89,13 @@ func main() {
 		fmt.Fprintf(w, "recommendation\t%s\n", verdict)
 		fmt.Fprintf(w, "reason\t%s\n", a.Reason)
 		fmt.Fprintf(w, "efficiency\tstandard %.4f, letgo %.4f (gain %+.4f)\n", a.EffStandard, a.EffLetGo, a.Gain)
+		finish()
 		return
 	}
 
 	switch *fig {
 	case 7:
-		pts, err := checkpoint.SweepCheckpointCost(probs, []float64{12, 120, 1200}, *sync, *mtbFaults, *seed, *horizon)
+		pts, err := checkpoint.SweepCheckpointCostTraced(probs, []float64{12, 120, 1200}, *sync, *mtbFaults, *seed, *horizon, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +103,7 @@ func main() {
 			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "tchk", pts)); err != nil {
 				fatal(err)
 			}
+			finish()
 			return
 		}
 		fmt.Fprintf(w, "T_chk\tEff(standard)\tEff(LetGo)\tGain\n")
@@ -90,7 +111,7 @@ func main() {
 			fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%+.4f\n", p.X, p.Standard, p.LetGo, p.Gain())
 		}
 	case 8:
-		pts, err := checkpoint.SweepScale(probs, *tchk, *sync, []int{100_000, 200_000, 400_000}, *seed, *horizon)
+		pts, err := checkpoint.SweepScaleTraced(probs, *tchk, *sync, []int{100_000, 200_000, 400_000}, *seed, *horizon, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,6 +119,7 @@ func main() {
 			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "nodes", pts)); err != nil {
 				fatal(err)
 			}
+			finish()
 			return
 		}
 		fmt.Fprintf(w, "Nodes\tEff(standard)\tEff(LetGo)\tGain\n")
@@ -106,7 +128,7 @@ func main() {
 		}
 	case 0:
 		params := checkpoint.ParamsFor(probs, *tchk, *sync, *mtbFaults)
-		std, lg, err := checkpoint.Compare(params, stats.NewRNG(*seed), *horizon)
+		std, lg, err := checkpoint.CompareTraced(params, stats.NewRNG(*seed), *horizon, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,6 +139,15 @@ func main() {
 			lg.Efficiency(), lg.Checkpoints, lg.Rollbacks, lg.Crashes, lg.Elided)
 	default:
 		fatal(fmt.Errorf("unknown figure %d (want 7 or 8)", *fig))
+	}
+	finish()
+}
+
+// finish flushes the progress line and writes the metric/event sinks.
+func finish() {
+	telem.Progress.Finish()
+	if err := telem.Close(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -133,7 +164,12 @@ func resolveProbabilities(source, appName string, n int, seed uint64) (checkpoin
 		if !ok {
 			return checkpoint.AppProbabilities{}, fmt.Errorf("unknown app %q", appName)
 		}
-		r, err := (&inject.Campaign{App: a, Mode: inject.LetGoE, N: n, Seed: seed}).Run()
+		c := &inject.Campaign{App: a, Mode: inject.LetGoE, N: n, Seed: seed}
+		if telem.Enabled() {
+			c.Obs = telem.Hub
+			c.Observer = inject.NewObsObserver(a.Name, n, telem.Hub, telem.Progress)
+		}
+		r, err := c.Run()
 		if err != nil {
 			return checkpoint.AppProbabilities{}, err
 		}

@@ -29,11 +29,17 @@ func Figure7(app AppProbabilities, seed uint64) ([]Point, error) {
 
 // SweepCheckpointCost runs both models across checkpoint costs.
 func SweepCheckpointCost(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64) ([]Point, error) {
+	return SweepCheckpointCostTraced(app, tchks, syncFrac, mtbFaults, seed, horizon, nil)
+}
+
+// SweepCheckpointCostTraced is SweepCheckpointCost with an optional
+// transition tracer.
+func SweepCheckpointCostTraced(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
 	rng := stats.NewRNG(seed)
 	out := make([]Point, 0, len(tchks))
 	for _, tchk := range tchks {
 		p := ParamsFor(app, tchk, syncFrac, mtbFaults)
-		std, lg, err := Compare(p, rng, horizon)
+		std, lg, err := CompareTraced(p, rng, horizon, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -52,6 +58,11 @@ func Figure8(app AppProbabilities, tchk float64, seed uint64) ([]Point, error) {
 
 // SweepScale runs both models across system sizes.
 func SweepScale(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64) ([]Point, error) {
+	return SweepScaleTraced(app, tchk, syncFrac, nodes, seed, horizon, nil)
+}
+
+// SweepScaleTraced is SweepScale with an optional transition tracer.
+func SweepScaleTraced(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
 	rng := stats.NewRNG(seed)
 	out := make([]Point, 0, len(nodes))
 	for _, n := range nodes {
@@ -60,7 +71,7 @@ func SweepScale(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed 
 		}
 		mtbf := 12 * 3600.0 * 100_000 / float64(n) // crash MTBF shrinks with scale
 		p := ParamsFor(app, tchk, syncFrac, 2*mtbf)
-		std, lg, err := Compare(p, rng, horizon)
+		std, lg, err := CompareTraced(p, rng, horizon, tr)
 		if err != nil {
 			return nil, err
 		}

@@ -166,10 +166,40 @@ func (f *faultClock) next() float64 {
 	return f.rng.Exp(f.mean)
 }
 
+// Simulator state names reported to a Tracer, matching Figure 6.
+const (
+	StateComp     = "COMP"
+	StateVerif    = "VERIF"
+	StateChk      = "CHK"
+	StateRollback = "ROLLBACK"
+	StateLetGo    = "LETGO"
+	StateCont     = "CONT"
+)
+
+// Simulation arms.
+const (
+	ArmStandard = "standard"
+	ArmLetGo    = "letgo"
+)
+
+// Tracer observes every state-machine transition of a simulation run,
+// together with the arm's running cost and verified-useful-work
+// accumulators. Tracing is strictly passive: a traced run consumes the
+// same random stream and produces the same Result as an untraced one.
+type Tracer interface {
+	Transition(arm, from, to string, cost, useful float64)
+}
+
 // SimulateStandard runs the M-S state machine (Figure 6a) until the
 // accumulated cost reaches horizon seconds, returning the asymptotic
 // efficiency statistics.
 func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error) {
+	return SimulateStandardTraced(p, rng, horizon, nil)
+}
+
+// SimulateStandardTraced is SimulateStandard with an optional transition
+// tracer (nil traces nothing).
+func SimulateStandardTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -178,6 +208,11 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 
 	var res Result
 	var cost, u, q float64
+	trace := func(from, to string) {
+		if tr != nil {
+			tr.Transition(ArmStandard, from, to, cost, u)
+		}
+	}
 	t := clock.next() // time until the next fault
 	faults := 0       // non-crash faults since the last verified checkpoint
 
@@ -190,6 +225,7 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 			q = T
 			// VERIF state.
 			cost += p.TV()
+			trace(StateComp, StateVerif)
 			if rng.Float64() < math.Pow(p.PV, float64(faults)) {
 				// Transition 5: check passes; checkpoint.
 				u += T
@@ -198,6 +234,8 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 				// CHK state, transition 6.
 				cost += p.TChk + p.TSync()
 				res.Checkpoints++
+				trace(StateVerif, StateChk)
+				trace(StateChk, StateComp)
 			} else {
 				// Transition 2: check fails; roll back.
 				res.VerifyFail++
@@ -205,6 +243,8 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 				cost += p.TRecover() + p.TSync()
 				q = 0
 				faults = 0
+				trace(StateVerif, StateRollback)
+				trace(StateRollback, StateComp)
 			}
 			continue
 		}
@@ -217,11 +257,14 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 			cost += t + p.TRecover() + p.TSync()
 			q = 0
 			faults = 0
+			trace(StateComp, StateRollback)
+			trace(StateRollback, StateComp)
 		} else {
 			// Transition 3: latent fault; keep computing.
 			cost += t
 			q += t
 			faults++
+			trace(StateComp, StateComp)
 		}
 		t = clock.next()
 	}
@@ -234,6 +277,11 @@ func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error)
 // to the LETGO state; elided crashes continue in CONT with the isLetGo
 // flag selecting PVPrime at the next verification.
 func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
+	return SimulateLetGoTraced(p, rng, horizon, nil)
+}
+
+// SimulateLetGoTraced is SimulateLetGo with an optional transition tracer.
+func SimulateLetGoTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -242,19 +290,33 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 
 	var res Result
 	var cost, u, q float64
+	trace := func(from, to string) {
+		if tr != nil {
+			tr.Transition(ArmLetGo, from, to, cost, u)
+		}
+	}
 	t := clock.next()
 	faults := 0
 	isLetGo := false // a repaired crash occurred in the current interval
+	// compState names the computing state for the tracer only.
+	compState := func() string {
+		if isLetGo {
+			return StateCont
+		}
+		return StateComp
+	}
 
 	for cost < horizon {
 		// COMP/CONT state (they share fault handling; isLetGo
 		// distinguishes them).
 		if t > T-q {
 			// Transitions 1/5: interval complete; verify.
+			from := compState()
 			t -= T - q
 			cost += T - q
 			// VERIF state: transition 9 picks the base probability.
 			cost += p.TV()
+			trace(from, StateVerif)
 			pv := p.PV
 			if isLetGo {
 				pv = p.PVPrime
@@ -266,6 +328,8 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 				isLetGo = false
 				cost += p.TChk + p.TSync()
 				res.Checkpoints++
+				trace(StateVerif, StateChk)
+				trace(StateChk, StateComp)
 			} else {
 				// Transition 2: failed check; roll back.
 				res.VerifyFail++
@@ -274,6 +338,8 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 				q = 0
 				faults = 0
 				isLetGo = false
+				trace(StateVerif, StateRollback)
+				trace(StateRollback, StateComp)
 			}
 			continue
 		}
@@ -289,6 +355,8 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 				q = 0
 				faults = 0
 				isLetGo = false
+				trace(StateCont, StateRollback)
+				trace(StateRollback, StateComp)
 				t = clock.next()
 				continue
 			}
@@ -297,11 +365,13 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 			cost += t
 			q += t
 			faults++
+			trace(StateComp, StateLetGo)
 			if rng.Float64() < p.PLetGo {
 				// Transition 4: repaired; continue in CONT.
 				cost += p.TLetGo
 				isLetGo = true
 				res.Elided++
+				trace(StateLetGo, StateCont)
 			} else {
 				// Transition 11: give up; roll back.
 				res.GaveUp++
@@ -310,12 +380,16 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 				q = 0
 				faults = 0
 				isLetGo = false
+				trace(StateLetGo, StateRollback)
+				trace(StateRollback, StateComp)
 			}
 		} else {
 			// Transitions 3(M-S-like)/7: latent fault.
+			from := compState()
 			cost += t
 			q += t
 			faults++
+			trace(from, from)
 		}
 		t = clock.next()
 	}
@@ -327,11 +401,16 @@ func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
 // Compare runs both models on the same parameters (fresh RNG streams
 // split from rng) and returns (standard, letgo).
 func Compare(p Params, rng *stats.RNG, horizon float64) (Result, Result, error) {
-	std, err := SimulateStandard(p, rng.Split(), horizon)
+	return CompareTraced(p, rng, horizon, nil)
+}
+
+// CompareTraced is Compare with an optional transition tracer.
+func CompareTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, Result, error) {
+	std, err := SimulateStandardTraced(p, rng.Split(), horizon, tr)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	lg, err := SimulateLetGo(p, rng.Split(), horizon)
+	lg, err := SimulateLetGoTraced(p, rng.Split(), horizon, tr)
 	if err != nil {
 		return Result{}, Result{}, err
 	}

@@ -1,0 +1,34 @@
+package checkpoint
+
+import (
+	"github.com/letgo-hpc/letgo/internal/obs"
+)
+
+// obsTracer mirrors simulator transitions into a hub's metric registry
+// and event stream and (optionally) a live progress reporter.
+type obsTracer struct {
+	hub  *obs.Hub
+	prog *obs.Progress
+}
+
+// NewObsTracer returns a Tracer that counts every state transition per
+// arm in hub's registry, emits a sim_transition event per transition,
+// and ticks prog once per transition (grouped by arm). Either sink may
+// be nil; a nil hub with a nil prog traces into nothing but is still
+// safe to pass.
+func NewObsTracer(hub *obs.Hub, prog *obs.Progress) Tracer {
+	if hub != nil && hub.Reg != nil {
+		hub.Reg.Help("letgo_sim_transitions_total", "Section-7 simulator state transitions, by arm and edge.")
+		hub.Reg.Help("letgo_sim_cost_seconds", "Running simulated wall-clock cost, by arm.")
+		hub.Reg.Help("letgo_sim_useful_seconds", "Running verified useful work, by arm.")
+	}
+	return &obsTracer{hub: hub, prog: prog}
+}
+
+func (o *obsTracer) Transition(arm, from, to string, cost, useful float64) {
+	o.hub.Counter("letgo_sim_transitions_total", "arm", arm, "from", from, "to", to).Inc()
+	o.hub.Gauge("letgo_sim_cost_seconds", "arm", arm).Set(cost)
+	o.hub.Gauge("letgo_sim_useful_seconds", "arm", arm).Set(useful)
+	o.hub.Emit(obs.SimTransitionEvent{Arm: arm, From: from, To: to, Cost: cost, Useful: useful})
+	o.prog.Step(arm)
+}

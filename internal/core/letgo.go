@@ -23,6 +23,7 @@ import (
 
 	"github.com/letgo-hpc/letgo/internal/debug"
 	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -67,6 +68,11 @@ type Options struct {
 	// FrameSlack widens the Heuristic-II bound beyond the static frame
 	// size to cover pushed registers and the return address. Zero means 16.
 	FrameSlack uint64
+	// Obs optionally records repair activity (intercepted signals,
+	// heuristic applications, give-ups, repair durations) as metrics and
+	// structured events. Nil disables instrumentation; observing a run
+	// never changes its outcome.
+	Obs *obs.Hub
 }
 
 func (o Options) maxRepairs() int {
@@ -157,12 +163,36 @@ type Runner struct {
 	events  []Event
 }
 
+// heuristicNames are the modifier actions as metric/event labels.
+var heuristicNames = []struct {
+	flag Action
+	name string
+}{
+	{ActFillIntDest, "h1_int_fill"},
+	{ActFillFloatDest, "h1_float_fill"},
+	{ActRepairSP, "h2_sp_repair"},
+	{ActRepairBP, "h2_bp_repair"},
+}
+
 // Attach wires LetGo onto a machine: it launches the debugger attachment
 // and installs the Table-1 dispositions (step 1 of the paper's Figure 3).
 func Attach(m *vm.Machine, an *pin.Analysis, opts Options) *Runner {
 	d := debug.New(m)
 	for _, sig := range opts.signals() {
 		d.Handle(sig, debug.Disposition{Stop: true, Pass: false})
+	}
+	if opts.Obs != nil && opts.Obs.Reg != nil {
+		// Pre-register the repair metric families so a dump shows every
+		// heuristic counter at zero even when a run never fires it.
+		reg := opts.Obs.Reg
+		reg.Help("letgo_heuristic_applications_total", "Modifier heuristic applications by kind.")
+		for _, h := range heuristicNames {
+			reg.Counter("letgo_heuristic_applications_total", "heuristic", h.name)
+		}
+		reg.Help("letgo_repairs_total", "Crashes elided by advancing the PC.")
+		reg.Counter("letgo_repairs_total")
+		reg.Help("letgo_signals_intercepted_total", "Crash-causing signals stopped by the monitor, by signal.")
+		reg.Help("letgo_repair_giveups_total", "Repairs declined, by reason (repair_budget, unrepairable).")
 	}
 	return &Runner{Dbg: d, An: an, Opts: opts}
 }
@@ -180,12 +210,19 @@ func (r *Runner) Run(maxInstrs uint64) Result {
 		case debug.StopTerminated:
 			return r.result(RunCrashed, stop.Signal)
 		case debug.StopSignal:
+			r.Opts.Obs.Counter("letgo_signals_intercepted_total", "signal", stop.Signal.String()).Inc()
+			r.Opts.Obs.Emit(obs.SignalEvent{
+				Signal: stop.Signal.String(), PC: r.Dbg.PC(),
+				Retired: r.Dbg.M.Retired, Intercepted: true,
+			})
 			if r.repairs >= r.Opts.maxRepairs() {
 				// Second crash: LetGo does not intervene and the program
 				// terminates (Section 4.1).
+				r.giveUp("repair_budget", stop)
 				return r.result(RunCrashed, stop.Signal)
 			}
 			if !r.repair(stop) {
+				r.giveUp("unrepairable", stop)
 				return r.result(RunCrashed, stop.Signal)
 			}
 			stop = r.Dbg.Continue(maxInstrs)
@@ -199,7 +236,14 @@ func (r *Runner) Run(maxInstrs uint64) Result {
 	}
 }
 
+// giveUp records a declined repair into the optional sinks.
+func (r *Runner) giveUp(reason string, stop *debug.Stop) {
+	r.Opts.Obs.Counter("letgo_repair_giveups_total", "reason", reason).Inc()
+	r.Opts.Obs.Emit(obs.GiveUpEvent{Reason: reason, Signal: stop.Signal.String(), PC: r.Dbg.PC()})
+}
+
 func (r *Runner) result(kind OutcomeKind, sig vm.Signal) Result {
+	r.Opts.Obs.Counter("letgo_runs_total", "outcome", kind.String()).Inc()
 	return Result{
 		Outcome: kind,
 		Signal:  sig,
@@ -247,7 +291,28 @@ func (r *Runner) repair(stop *debug.Stop) bool {
 	ev.Duration = time.Since(start)
 	r.events = append(r.events, ev)
 	r.repairs++
+	r.instrumentRepair(ev)
 	return true
+}
+
+// instrumentRepair records one successful repair into the optional sinks.
+func (r *Runner) instrumentRepair(ev Event) {
+	hub := r.Opts.Obs
+	if hub == nil {
+		return
+	}
+	hub.Counter("letgo_repairs_total").Inc()
+	if r.repairs > 1 {
+		hub.Counter("letgo_repair_retries_total").Inc()
+	}
+	hub.Histogram("letgo_repair_duration_seconds", obs.ExpBuckets(1e-7, 10, 8)).
+		Observe(ev.Duration.Seconds())
+	for _, h := range heuristicNames {
+		if ev.Actions&h.flag != 0 {
+			hub.Counter("letgo_heuristic_applications_total", "heuristic", h.name).Inc()
+			hub.Emit(obs.HeuristicEvent{Heuristic: h.name, PC: ev.PC, NewPC: ev.NewPC})
+		}
+	}
 }
 
 // heuristicI refills the destination register of an elided load with the

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"github.com/letgo-hpc/letgo/internal/asm"
 	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -463,5 +466,74 @@ func TestHeuristicIIWithoutPrologueUsesFallbackBound(t *testing.T) {
 	// bp is still the pristine StackTop, so sp gets rebuilt near it.
 	if sp := r.Dbg.IntReg(isa.SP); sp > isa.StackTop || sp < isa.StackTop-8192 {
 		t.Errorf("sp = %#x not rebuilt near the stack top", sp)
+	}
+}
+
+func TestRunnerObsInstrumentation(t *testing.T) {
+	var events bytes.Buffer
+	hub := &obs.Hub{Reg: obs.NewRegistry(), Em: obs.NewEmitter(&events)}
+	r := attach(t, wildLoadSrc, Options{Mode: ModeEnhanced, Obs: hub})
+	res := r.Run(1 << 16)
+	if res.Outcome != RunCompleted || res.Repairs != 1 {
+		t.Fatalf("outcome = %v repairs = %d", res.Outcome, res.Repairs)
+	}
+	reg := hub.Reg
+	if got := reg.Counter("letgo_signals_intercepted_total", "signal", "SIGSEGV").Value(); got != 1 {
+		t.Errorf("intercepted SIGSEGV = %d, want 1", got)
+	}
+	if got := reg.Counter("letgo_repairs_total").Value(); got != 1 {
+		t.Errorf("repairs counter = %d, want 1", got)
+	}
+	if got := reg.Counter("letgo_heuristic_applications_total", "heuristic", "h1_float_fill").Value(); got != 1 {
+		t.Errorf("h1_float_fill = %d, want 1", got)
+	}
+	// Attach pre-registered all four heuristic counters so dumps always
+	// carry explicit zeros.
+	for _, h := range []string{"h1_int_fill", "h2_sp_repair", "h2_bp_repair"} {
+		if got := reg.Counter("letgo_heuristic_applications_total", "heuristic", h).Value(); got != 0 {
+			t.Errorf("%s = %d, want 0", h, got)
+		}
+	}
+	if got := reg.Counter("letgo_runs_total", "outcome", "completed").Value(); got != 1 {
+		t.Errorf("runs_total{completed} = %d", got)
+	}
+	// The event stream carries the signal and the heuristic application.
+	out := events.String()
+	for _, want := range []string{`"type":"signal"`, `"type":"heuristic"`, `"heuristic":"h1_float_fill"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("event stream missing %s:\n%s", want, out)
+		}
+	}
+
+	// The same program under identical options without a hub behaves
+	// identically (instrumentation is passive).
+	r2 := attach(t, wildLoadSrc, Options{Mode: ModeEnhanced})
+	res2 := r2.Run(1 << 16)
+	if res2.Outcome != res.Outcome || res2.Repairs != res.Repairs || res2.Retired != res.Retired {
+		t.Errorf("instrumented run diverged: %+v vs %+v", res, res2)
+	}
+}
+
+func TestRunnerObsGiveUp(t *testing.T) {
+	// Two planted crashes with MaxRepairs 1: the second is declined and
+	// recorded under reason repair_budget.
+	src := `
+	main:
+	    li x1, 0x123450000000
+	    fld f1, [x1]
+	    fld f2, [x1]
+	    halt
+	`
+	hub := &obs.Hub{Reg: obs.NewRegistry()}
+	r := attach(t, src, Options{Mode: ModeEnhanced, MaxRepairs: 1, Obs: hub})
+	res := r.Run(1 << 16)
+	if res.Outcome != RunCrashed {
+		t.Fatalf("outcome = %v, want crashed", res.Outcome)
+	}
+	if got := hub.Reg.Counter("letgo_repair_giveups_total", "reason", "repair_budget").Value(); got != 1 {
+		t.Errorf("giveups{repair_budget} = %d, want 1", got)
+	}
+	if got := hub.Reg.Counter("letgo_signals_intercepted_total", "signal", "SIGSEGV").Value(); got != 2 {
+		t.Errorf("intercepted = %d, want 2", got)
 	}
 }

@@ -3,17 +3,50 @@ package inject
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
 	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
+
+// Campaign phases, in execution order, as reported to an Observer.
+const (
+	PhaseCompile = "compile"
+	PhaseGolden  = "golden"
+	PhaseProfile = "profile"
+	PhaseInject  = "inject"
+)
+
+// Execution is the per-injection observation delivered to an Observer.
+type Execution struct {
+	Index   int // plan index in [0, N)
+	Worker  int // worker that ran the injection
+	Class   outcome.Class
+	Signal  vm.Signal
+	Retired uint64 // instructions the injected run retired
+	// Latency is the injection-to-crash distance (valid when HasLatency).
+	Latency    uint64
+	HasLatency bool
+}
+
+// Observer receives campaign lifecycle callbacks: phase boundaries, each
+// sampled plan, each classified injection, and the final result.
+// Implementations must be safe for concurrent use — Executed is called
+// from the campaign's worker goroutines. Observers are strictly passive;
+// campaign results are identical with or without one attached.
+type Observer interface {
+	Phase(phase string)
+	Planned(index int, plan Plan)
+	Executed(e Execution)
+	Done(res *Result)
+}
 
 // Campaign is a fault-injection campaign against one benchmark app: N
 // independent single-bit-flip injections, each in a fresh machine,
@@ -35,6 +68,13 @@ type Campaign struct {
 	// Model is the corruption pattern; the zero value is the paper's
 	// single-bit-flip model.
 	Model FaultModel
+	// Observer, when non-nil, receives lifecycle callbacks (phases, plans,
+	// per-injection outcomes, the final result). Purely observational.
+	Observer Observer
+	// Obs optionally threads metric/event sinks into the core and vm
+	// layers of every injected run (trap counts by signal, heuristic
+	// applications, retired instructions). Nil disables instrumentation.
+	Obs *obs.Hub
 }
 
 // Result summarizes a campaign.
@@ -61,20 +101,34 @@ type Result struct {
 // MedianCrashLatency returns the median injection-to-crash distance in
 // dynamic instructions (0 when no crashes were observed).
 func (r *Result) MedianCrashLatency() uint64 {
-	if len(r.CrashLatencies) == 0 {
-		return 0
+	return stats.MedianUint64(r.CrashLatencies)
+}
+
+// phase reports a phase boundary to the observer and event stream.
+func (c *Campaign) phase(name string) {
+	if c.Observer != nil {
+		c.Observer.Phase(name)
 	}
-	s := append([]uint64(nil), r.CrashLatencies...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2]
 }
 
 // Run executes the campaign. It is deterministic for a fixed seed and N,
-// regardless of worker count.
+// regardless of worker count and of any attached Observer or Obs sinks.
 func (c *Campaign) Run() (*Result, error) {
 	if c.App == nil || c.N <= 0 {
 		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
 	}
+	if c.Obs != nil && c.Obs.Reg != nil {
+		// Pre-register the trap families so a metrics dump always carries
+		// every crash-causing signal, including the zero counts.
+		c.Obs.Reg.Help("letgo_vm_traps_total", "Machine exceptions raised, by signal.")
+		for _, sig := range []vm.Signal{vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
+			c.Obs.Reg.Counter("letgo_vm_traps_total", "signal", sig.String())
+		}
+		c.Obs.Reg.Help("letgo_vm_retired_instructions_total", "Instructions retired across injected runs.")
+		c.Obs.Reg.Counter("letgo_vm_retired_instructions_total")
+	}
+
+	c.phase(PhaseCompile)
 	prog, err := c.App.Compile()
 	if err != nil {
 		return nil, err
@@ -82,6 +136,7 @@ func (c *Campaign) Run() (*Result, error) {
 	an := pin.Analyze(prog)
 
 	// Golden run: acceptance data and output to compare against.
+	c.phase(PhaseGolden)
 	gm, err := c.App.NewMachine()
 	if err != nil {
 		return nil, err
@@ -108,6 +163,7 @@ func (c *Campaign) Run() (*Result, error) {
 	budget := uint64(float64(gm.Retired)*factor) + 100_000
 
 	// Profiling phase (Section 5.4).
+	c.phase(PhaseProfile)
 	prof, err := an.ProfileRun(vm.Config{}, profileBudget)
 	if err != nil {
 		return nil, err
@@ -121,6 +177,9 @@ func (c *Campaign) Run() (*Result, error) {
 		if plans[i], err = SamplePlanModel(prog, prof, rng, c.Model); err != nil {
 			return nil, err
 		}
+		if c.Observer != nil {
+			c.Observer.Planned(i, plans[i])
+		}
 	}
 
 	workers := c.Workers
@@ -131,26 +190,34 @@ func (c *Campaign) Run() (*Result, error) {
 		workers = c.N
 	}
 
-	classes := make([]outcome.Class, c.N)
-	signals := make([]vm.Signal, c.N)
-	latencies := make([]uint64, c.N)
-	hasLatency := make([]bool, c.N)
+	c.phase(PhaseInject)
+	results := make([]injResult, c.N)
 	errs := make([]error, workers)
+	// failed lets the first erroring worker stop the others early instead
+	// of letting them burn through their remaining injections.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < c.N; i += workers {
-				cl, sig, lat, hasLat, err := c.one(prog, an, plans[i], budget, golden)
-				if err != nil {
-					errs[w] = err
+				if failed.Load() {
 					return
 				}
-				classes[i] = cl
-				signals[i] = sig
-				latencies[i] = lat
-				hasLatency[i] = hasLat
+				r, err := c.one(prog, an, plans[i], budget, golden)
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				if c.Observer != nil {
+					c.Observer.Executed(Execution{
+						Index: i, Worker: w, Class: r.class, Signal: r.sig,
+						Retired: r.retired, Latency: r.latency, HasLatency: r.hasLatency,
+					})
+				}
 			}
 		}(w)
 	}
@@ -168,25 +235,37 @@ func (c *Campaign) Run() (*Result, error) {
 		GoldenRetired: gm.Retired,
 		Signals:       map[vm.Signal]int{},
 	}
-	for i, cl := range classes {
-		res.Counts.Add(cl)
-		if cl.CrashBranch() && signals[i] != vm.SIGNONE {
-			res.Signals[signals[i]]++
+	for _, r := range results {
+		res.Counts.Add(r.class)
+		if r.class.CrashBranch() && r.sig != vm.SIGNONE {
+			res.Signals[r.sig]++
 		}
-		if hasLatency[i] {
-			res.CrashLatencies = append(res.CrashLatencies, latencies[i])
+		if r.hasLatency {
+			res.CrashLatencies = append(res.CrashLatencies, r.latency)
 		}
 	}
 	res.Metrics = outcome.ComputeMetrics(&res.Counts)
 	res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
+	if c.Observer != nil {
+		c.Observer.Done(res)
+	}
 	return res, nil
 }
 
+// injResult is the classified observation of one injection.
+type injResult struct {
+	class      outcome.Class
+	sig        vm.Signal
+	latency    uint64
+	hasLatency bool
+	retired    uint64
+}
+
 // one executes and classifies a single injection.
-func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (outcome.Class, vm.Signal, uint64, bool, error) {
-	ro, err := executeWith(prog, an, plan, c.Mode, c.Opts, budget)
+func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (injResult, error) {
+	ro, err := executeHub(prog, an, plan, c.Mode, c.Opts, budget, c.Obs)
 	if err != nil {
-		return 0, 0, 0, false, err
+		return injResult{}, err
 	}
 	rec := outcome.RunRecord{
 		Finished: ro.Finished,
@@ -200,16 +279,22 @@ func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget ui
 	if ro.Finished {
 		pass, err := c.App.Accept(ro.Machine)
 		if err != nil {
-			return 0, 0, 0, false, err
+			return injResult{}, err
 		}
 		rec.CheckPassed = pass
 		if pass {
 			out, err := c.App.Output(ro.Machine)
 			if err != nil {
-				return 0, 0, 0, false, err
+				return injResult{}, err
 			}
 			rec.MatchesGolden = c.App.MatchesGolden(out, golden)
 		}
 	}
-	return outcome.Classify(rec), sig, ro.CrashLatency, ro.HasLatency, nil
+	return injResult{
+		class:      outcome.Classify(rec),
+		sig:        sig,
+		latency:    ro.CrashLatency,
+		hasLatency: ro.HasLatency,
+		retired:    ro.Retired,
+	}, nil
 }

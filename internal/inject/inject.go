@@ -13,6 +13,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/core"
 	"github.com/letgo-hpc/letgo/internal/debug"
 	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
@@ -149,15 +150,21 @@ type RunOutcome struct {
 // instruction, flip the planned bit in its destination register, and
 // continue to an end state under the requested mode.
 func Execute(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, budget uint64) (RunOutcome, error) {
-	return executeWith(prog, an, plan, mode, nil, budget)
+	return executeHub(prog, an, plan, mode, nil, budget, nil)
 }
 
-// executeWith is Execute with an optional LetGo option override (used by
-// campaigns running heuristic ablations).
-func executeWith(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64) (RunOutcome, error) {
+// executeHub is Execute with an optional LetGo option override (used by
+// campaigns running heuristic ablations) and optional observability sinks
+// threaded into the machine and the LetGo runner.
+func executeHub(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64, hub *obs.Hub) (RunOutcome, error) {
 	m, err := vm.New(prog, vm.Config{})
 	if err != nil {
 		return RunOutcome{}, err
+	}
+	if hub != nil {
+		m.OnTrap = func(t *vm.Trap) {
+			hub.Counter("letgo_vm_traps_total", "signal", t.Signal.String()).Inc()
+		}
 	}
 
 	var runner *core.Runner
@@ -169,6 +176,7 @@ func executeWith(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, over
 		if override != nil {
 			opts = *override
 		}
+		opts.Obs = hub
 		runner = core.Attach(m, an, opts)
 		dbg = runner.Dbg
 	}
@@ -219,6 +227,9 @@ func executeWith(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, over
 		}
 	}
 	out.Retired = m.Retired
+	if hub != nil {
+		hub.Counter("letgo_vm_retired_instructions_total").Add(m.Retired)
+	}
 	return out, nil
 }
 

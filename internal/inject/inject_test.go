@@ -1,13 +1,20 @@
 package inject
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/lang"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/stats"
@@ -422,3 +429,186 @@ func TestAMGResilienceUnderLetGo(t *testing.T) {
 		t.Errorf("AMG continued-SDC %.2f should be near zero (errors converge away)", m.ContinuedSDC)
 	}
 }
+
+func TestRealAppCampaignMetricBounds(t *testing.T) {
+	// Folded from the old gap-scratch exploration: a real benchmark app
+	// under both LetGo modes must land in the paper's plausible ranges
+	// and satisfy the Section-5.3 metric identity.
+	a, ok := apps.ByName("CLAMR")
+	if !ok {
+		t.Fatal("no CLAMR app")
+	}
+	for _, mode := range []Mode{LetGoB, LetGoE} {
+		c := &Campaign{App: a, Mode: mode, N: 120, Seed: 42}
+		r, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Counts.N != 120 {
+			t.Fatalf("%v: N = %d", mode, r.Counts.N)
+		}
+		if r.PCrash <= 0 || r.PCrash >= 1 {
+			t.Errorf("%v: PCrash = %v outside (0,1)", mode, r.PCrash)
+		}
+		m := r.Metrics
+		if m.Continuability <= 0 || m.Continuability > 1 {
+			t.Errorf("%v: continuability = %v outside (0,1]", mode, m.Continuability)
+		}
+		sum := m.ContinuedCorrect + m.ContinuedDetected + m.ContinuedSDC
+		if math.Abs(sum-m.Continuability) > 1e-9 {
+			t.Errorf("%v: metric identity violated: %v != %v", mode, sum, m.Continuability)
+		}
+	}
+}
+
+// recordingObserver counts callbacks for observer tests.
+type recordingObserver struct {
+	phases   []string
+	planned  atomic.Int64
+	executed atomic.Int64
+	done     atomic.Int64
+}
+
+func (o *recordingObserver) Phase(phase string) { o.phases = append(o.phases, phase) }
+func (o *recordingObserver) Planned(int, Plan)  { o.planned.Add(1) }
+func (o *recordingObserver) Executed(Execution) { o.executed.Add(1) }
+func (o *recordingObserver) Done(*Result)       { o.done.Add(1) }
+
+func TestCampaignObserverDeterminism(t *testing.T) {
+	// A campaign with the full observability stack attached (registry,
+	// JSONL emitter, progress, observer) must produce exactly the same
+	// result as a bare campaign with the same seed — observers are passive.
+	a := testApp(t)
+	bare := &Campaign{App: a, Mode: LetGoE, N: 60, Seed: 99, Workers: 2}
+	r1, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events bytes.Buffer
+	hub := &obs.Hub{Reg: obs.NewRegistry(), Em: obs.NewEmitter(&events)}
+	prog := obs.NewProgress(io.Discard, 0)
+	observed := &Campaign{
+		App: a, Mode: LetGoE, N: 60, Seed: 99, Workers: 2,
+		Obs:      hub,
+		Observer: NewObsObserver(a.Name, 60, hub, prog),
+	}
+	r2, err := observed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r1.Counts != r2.Counts {
+		t.Errorf("counts differ with observer:\n%+v\n%+v", r1.Counts, r2.Counts)
+	}
+	if r1.PCrash != r2.PCrash {
+		t.Errorf("PCrash differs: %v vs %v", r1.PCrash, r2.PCrash)
+	}
+	if len(r1.CrashLatencies) != len(r2.CrashLatencies) {
+		t.Errorf("latency count differs: %d vs %d", len(r1.CrashLatencies), len(r2.CrashLatencies))
+	} else {
+		for i := range r1.CrashLatencies {
+			if r1.CrashLatencies[i] != r2.CrashLatencies[i] {
+				t.Fatalf("latency[%d] differs: %d vs %d", i, r1.CrashLatencies[i], r2.CrashLatencies[i])
+			}
+		}
+	}
+	for sig, n := range r1.Signals {
+		if r2.Signals[sig] != n {
+			t.Errorf("signal %v: %d vs %d", sig, n, r2.Signals[sig])
+		}
+	}
+
+	// Every injection produced at least an executed event; every event
+	// line parses as a sequenced envelope.
+	var executed int
+	sc := bufio.NewScanner(&events)
+	seq := uint64(0)
+	for sc.Scan() {
+		var env struct {
+			Seq  uint64          `json:"seq"`
+			Type string          `json:"type"`
+			Ev   json.RawMessage `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		seq++
+		if env.Seq != seq {
+			t.Fatalf("seq gap: got %d want %d", env.Seq, seq)
+		}
+		if env.Type == "injection_executed" {
+			executed++
+		}
+	}
+	if executed != 60 {
+		t.Errorf("injection_executed events = %d, want 60", executed)
+	}
+	// The trap-by-signal and per-class injection counters made it into
+	// the registry.
+	snap := hub.Reg.Snapshot()
+	var total uint64
+	for _, c := range snap.Counters {
+		if c.Name == "letgo_injections_total" {
+			total += c.Value
+		}
+	}
+	if total != 60 {
+		t.Errorf("letgo_injections_total sums to %d, want 60", total)
+	}
+}
+
+func TestCampaignObserverCallbacks(t *testing.T) {
+	a := testApp(t)
+	rec := &recordingObserver{}
+	c := &Campaign{App: a, Mode: LetGoE, N: 20, Seed: 5, Workers: 1, Observer: rec}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{PhaseCompile, PhaseGolden, PhaseProfile, PhaseInject}
+	if len(rec.phases) != len(want) {
+		t.Fatalf("phases = %v", rec.phases)
+	}
+	for i, p := range want {
+		if rec.phases[i] != p {
+			t.Errorf("phase[%d] = %q, want %q", i, rec.phases[i], p)
+		}
+	}
+	if rec.planned.Load() != 20 || rec.executed.Load() != 20 || rec.done.Load() != 1 {
+		t.Errorf("planned=%d executed=%d done=%d", rec.planned.Load(), rec.executed.Load(), rec.done.Load())
+	}
+}
+
+func TestCampaignWorkerEarlyStop(t *testing.T) {
+	// When one worker hits an error the others must stop early instead of
+	// burning through their remaining injections.
+	base := testApp(t)
+	var accepts atomic.Int64
+	broken := &apps.App{
+		Name:      base.Name,
+		Domain:    base.Domain,
+		Iterative: base.Iterative,
+		Tolerance: base.Tolerance,
+		Source:    base.Source,
+		Accept: func(m *vm.Machine) (bool, error) {
+			// The first call is the golden run; every later (injected)
+			// call fails.
+			if accepts.Add(1) == 1 {
+				return base.Accept(m)
+			}
+			return false, errTestAccept
+		},
+		Output: base.Output,
+	}
+	rec := &recordingObserver{}
+	c := &Campaign{App: broken, Mode: LetGoE, N: 400, Seed: 9, Workers: 2, Observer: rec}
+	_, err := c.Run()
+	if err == nil {
+		t.Fatal("campaign swallowed the worker error")
+	}
+	if got := rec.executed.Load(); got >= 200 {
+		t.Errorf("workers executed %d injections after the first error; early stop not engaged", got)
+	}
+}
+
+var errTestAccept = fmt.Errorf("synthetic acceptance failure")

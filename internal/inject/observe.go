@@ -1,0 +1,102 @@
+package inject
+
+import (
+	"github.com/letgo-hpc/letgo/internal/obs"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+	"github.com/letgo-hpc/letgo/internal/stats"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// obsObserver records campaign activity into a hub's metrics and event
+// stream and drives an optional live progress reporter. All callbacks are
+// concurrency-safe (the hub's primitives are atomic or mutexed).
+type obsObserver struct {
+	app  string
+	n    int
+	hub  *obs.Hub
+	prog *obs.Progress
+}
+
+// NewObsObserver returns an Observer that mirrors a campaign of n
+// injections against the named app into hub (metrics and JSONL events)
+// and prog (live progress). Either sink may be nil.
+func NewObsObserver(app string, n int, hub *obs.Hub, prog *obs.Progress) Observer {
+	o := &obsObserver{app: app, n: n, hub: hub, prog: prog}
+	if hub != nil && hub.Reg != nil {
+		hub.Reg.Help("letgo_injections_total", "Classified injections, by app and Figure-4 class.")
+		hub.Reg.Help("letgo_crash_latency_instructions", "Injection-to-crash distance in dynamic instructions.")
+		hub.Reg.Help("letgo_worker_injections_total", "Injections executed, by campaign worker.")
+	}
+	return o
+}
+
+func (o *obsObserver) Phase(phase string) {
+	o.hub.Emit(obs.PhaseEvent{App: o.app, Phase: phase})
+	if phase == PhaseInject {
+		o.prog.Start("inject "+o.app, o.n)
+	}
+}
+
+func (o *obsObserver) Planned(index int, plan Plan) {
+	o.hub.Emit(obs.InjectionPlannedEvent{
+		App: o.app, Index: index,
+		Addr: plan.Site.Addr, Instance: plan.Site.Instance, Mask: plan.Mask,
+	})
+}
+
+// latencyBuckets spans the observed crash-latency range: the paper's
+// observation 3 is that most crashes land within tens of instructions.
+var latencyBuckets = obs.ExpBuckets(1, 4, 12)
+
+func (o *obsObserver) Executed(e Execution) {
+	sig := ""
+	if e.Signal != vm.SIGNONE {
+		sig = e.Signal.String()
+	}
+	o.hub.Emit(obs.InjectionExecutedEvent{
+		App: o.app, Index: e.Index, Worker: e.Worker,
+		Class: e.Class.String(), Signal: sig,
+		Retired: e.Retired, CrashLatency: e.Latency, HasLatency: e.HasLatency,
+	})
+	o.hub.Emit(obs.OutcomeEvent{App: o.app, Index: e.Index, Class: e.Class.String()})
+	o.hub.Counter("letgo_injections_total", "app", o.app, "class", e.Class.String()).Inc()
+	o.hub.Counter("letgo_worker_injections_total", "worker", workerLabel(e.Worker)).Inc()
+	if e.HasLatency {
+		o.hub.Histogram("letgo_crash_latency_instructions", latencyBuckets).
+			Observe(float64(e.Latency))
+	}
+	o.prog.Step(e.Class.String())
+}
+
+func (o *obsObserver) Done(res *Result) {
+	o.hub.Gauge("letgo_campaign_pcrash", "app", o.app).Set(res.PCrash)
+	o.hub.Gauge("letgo_campaign_continuability", "app", o.app).Set(res.Metrics.Continuability)
+	o.hub.Gauge("letgo_campaign_median_crash_latency_instructions", "app", o.app).
+		Set(float64(stats.MedianUint64(res.CrashLatencies)))
+	for _, cl := range []outcome.Class{
+		outcome.Benign, outcome.SDC, outcome.Detected, outcome.Crash,
+		outcome.DoubleCrash, outcome.CBenign, outcome.CSDC, outcome.CDetected,
+		outcome.Hang,
+	} {
+		// Materialize every class so dumps carry explicit zeros.
+		o.hub.Counter("letgo_injections_total", "app", o.app, "class", cl.String()).Add(0)
+	}
+	o.prog.Finish()
+}
+
+// workerLabel formats a worker index without fmt in the hot path.
+func workerLabel(w int) string {
+	if w < 0 {
+		return "?"
+	}
+	const digits = "0123456789"
+	if w < 10 {
+		return digits[w : w+1]
+	}
+	buf := make([]byte, 0, 4)
+	for w > 0 {
+		buf = append([]byte{digits[w%10]}, buf...)
+		w /= 10
+	}
+	return string(buf)
+}

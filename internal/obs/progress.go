@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultProgressInterval is the minimum delay between two rendered
+// progress lines.
+const DefaultProgressInterval = 250 * time.Millisecond
+
+// Progress renders live throughput to a terminal: done/total, rate, ETA
+// and running per-class counts, redrawn in place (carriage return) at a
+// throttled interval so even million-step campaigns pay close to nothing
+// for it. It is safe for concurrent use and nil-safe: a nil *Progress
+// ignores every call, and Progress never influences the computation it
+// reports on.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	now      func() time.Time
+
+	mu      sync.Mutex
+	label   string
+	total   int
+	done    int
+	classes map[string]int
+	start   time.Time
+	last    time.Time
+	active  bool
+	renders int
+}
+
+// NewProgress returns a reporter writing to w (stderr is the conventional
+// sink) with the given redraw interval; interval 0 means
+// DefaultProgressInterval.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	return &Progress{w: w, interval: interval, now: time.Now}
+}
+
+// SetClock replaces the time source (tests).
+func (p *Progress) SetClock(now func() time.Time) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.now = now
+	p.mu.Unlock()
+}
+
+// Start begins (or restarts) a labelled run of total units; total 0 means
+// unknown (no percentage or ETA is rendered).
+func (p *Progress) Start(label string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.label = label
+	p.total = total
+	p.done = 0
+	p.classes = make(map[string]int)
+	p.start = p.now()
+	p.last = time.Time{}
+	p.active = true
+}
+
+// Step records one completed unit in the given class ("" for unclassed
+// units) and redraws if the throttle interval has elapsed.
+func (p *Progress) Step(class string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.done++
+	if class != "" {
+		p.classes[class]++
+	}
+	p.maybeRender()
+}
+
+// Update sets the absolute progress (simulated clocks, instruction
+// counts) and redraws if the throttle interval has elapsed.
+func (p *Progress) Update(done int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.done = done
+	p.maybeRender()
+}
+
+// Finish renders one final line and terminates it with a newline.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.render()
+	fmt.Fprintln(p.w)
+	p.active = false
+}
+
+// Renders reports how many lines have been drawn (tests).
+func (p *Progress) Renders() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.renders
+}
+
+// maybeRender redraws when the interval has elapsed. Callers hold p.mu.
+func (p *Progress) maybeRender() {
+	now := p.now()
+	if !p.last.IsZero() && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	p.render()
+}
+
+// render draws one line. Callers hold p.mu.
+func (p *Progress) render() {
+	elapsed := p.now().Sub(p.start).Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "\r%s  %d", p.label, p.done)
+	if p.total > 0 {
+		fmt.Fprintf(&b, "/%d (%.0f%%)", p.total, 100*float64(p.done)/float64(p.total))
+	}
+	if elapsed > 0 {
+		rate := float64(p.done) / elapsed
+		fmt.Fprintf(&b, "  %.1f/s", rate)
+		if p.total > 0 && rate > 0 && p.done < p.total {
+			eta := time.Duration(float64(p.total-p.done) / rate * float64(time.Second))
+			fmt.Fprintf(&b, "  ETA %s", eta.Round(time.Second))
+		}
+	}
+	if len(p.classes) > 0 {
+		keys := make([]string, 0, len(p.classes))
+		for k := range p.classes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s=%d", k, p.classes[k])
+		}
+	}
+	fmt.Fprintf(&b, "\x1b[K") // clear to end of line
+	io.WriteString(p.w, b.String())
+	p.renders++
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestProgressThrottling(t *testing.T) {
+	var b strings.Builder
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress(&b, 100*time.Millisecond)
+	p.SetClock(clk.now)
+	p.Start("inject TEST", 1000)
+
+	// 100 steps within one interval: only the first renders.
+	for i := 0; i < 100; i++ {
+		p.Step("Benign")
+	}
+	if got := p.Renders(); got != 1 {
+		t.Fatalf("renders within one interval = %d, want 1", got)
+	}
+
+	// Advancing past the interval allows exactly one more render.
+	clk.advance(150 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		p.Step("Crash")
+	}
+	if got := p.Renders(); got != 2 {
+		t.Fatalf("renders after one interval = %d, want 2", got)
+	}
+
+	p.Finish()
+	if got := p.Renders(); got != 3 {
+		t.Fatalf("renders after Finish = %d, want 3", got)
+	}
+	out := b.String()
+	if !strings.Contains(out, "inject TEST") || !strings.Contains(out, "200/1000") {
+		t.Errorf("final line missing label or totals: %q", out)
+	}
+	if !strings.Contains(out, "Benign=100") || !strings.Contains(out, "Crash=100") {
+		t.Errorf("final line missing class counts: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("Finish did not terminate the line")
+	}
+
+	// Steps after Finish are ignored.
+	p.Step("Benign")
+	if p.Renders() != 3 {
+		t.Error("inactive progress rendered")
+	}
+}
+
+func TestProgressUnknownTotalAndUpdate(t *testing.T) {
+	var b strings.Builder
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p := NewProgress(&b, time.Second)
+	p.SetClock(clk.now)
+	p.Start("run prog", 0)
+	clk.advance(2 * time.Second)
+	p.Update(1 << 20)
+	p.Finish()
+	out := b.String()
+	if strings.Contains(out, "%") || strings.Contains(out, "ETA") {
+		t.Errorf("unknown-total line shows percentage or ETA: %q", out)
+	}
+	if !strings.Contains(out, "1048576") {
+		t.Errorf("absolute update not rendered: %q", out)
+	}
+}
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.SetClock(time.Now)
+	p.Start("x", 1)
+	p.Step("y")
+	p.Update(1)
+	p.Finish()
+	if p.Renders() != 0 {
+		t.Error("nil progress rendered")
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate builds a registry with one of everything, deterministically.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Help("letgo_vm_traps_total", "Machine exceptions raised, by signal.")
+	r.Counter("letgo_vm_traps_total", "signal", "SIGSEGV").Add(3)
+	r.Counter("letgo_vm_traps_total", "signal", "SIGBUS").Add(1)
+	r.Counter("letgo_vm_traps_total", "signal", "SIGFPE") // explicit zero
+	r.Help("letgo_campaign_pcrash", "Crash-branch fraction.")
+	r.Gauge("letgo_campaign_pcrash", "app", "LULESH").Set(0.56)
+	r.Help("letgo_crash_latency_instructions", "Injection-to-crash distance.")
+	h := r.Histogram("letgo_crash_latency_instructions", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50, 1000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := populate(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP letgo_campaign_pcrash Crash-branch fraction.
+# TYPE letgo_campaign_pcrash gauge
+letgo_campaign_pcrash{app="LULESH"} 0.56
+# HELP letgo_crash_latency_instructions Injection-to-crash distance.
+# TYPE letgo_crash_latency_instructions histogram
+letgo_crash_latency_instructions_bucket{le="1"} 1
+letgo_crash_latency_instructions_bucket{le="10"} 3
+letgo_crash_latency_instructions_bucket{le="100"} 4
+letgo_crash_latency_instructions_bucket{le="+Inf"} 5
+letgo_crash_latency_instructions_sum 1055.5
+letgo_crash_latency_instructions_count 5
+# HELP letgo_vm_traps_total Machine exceptions raised, by signal.
+# TYPE letgo_vm_traps_total counter
+letgo_vm_traps_total{signal="SIGBUS"} 1
+letgo_vm_traps_total{signal="SIGFPE"} 0
+letgo_vm_traps_total{signal="SIGSEGV"} 3
+`
+	if b.String() != want {
+		t.Errorf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := populate(t).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(snap.Counters) != 3 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape: %d counters, %d gauges, %d histograms",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	// Sorted by label signature: SIGBUS < SIGFPE < SIGSEGV.
+	if snap.Counters[0].Labels["signal"] != "SIGBUS" || snap.Counters[2].Value != 3 {
+		t.Errorf("counter order/values wrong: %+v", snap.Counters)
+	}
+	hv := snap.Histograms[0]
+	if hv.Count != 5 || hv.Sum != 1055.5 {
+		t.Errorf("histogram count/sum: %+v", hv)
+	}
+	// Quantiles over the retained raw samples {0.5, 2, 3, 50, 1000}.
+	if hv.P50 != 3 || hv.P90 != 1000 || hv.P99 != 1000 {
+		t.Errorf("quantiles: p50=%v p90=%v p99=%v", hv.P50, hv.P90, hv.P99)
+	}
+	// Buckets are cumulative.
+	if hv.Buckets[2].Count != 4 {
+		t.Errorf("cumulative bucket: %+v", hv.Buckets)
+	}
+
+	// Two identical registries expose byte-identical JSON (determinism).
+	var b2 strings.Builder
+	if err := populate(t).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("snapshot JSON not deterministic")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Help("x", "y")
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	if n := r.Snapshot(); len(n.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Error("nil histogram count")
+	}
+	var hub *Hub
+	hub.Counter("x").Inc()
+	hub.Gauge("x").Set(1)
+	hub.Histogram("x", nil).Observe(1)
+	hub.Emit(PhaseEvent{Phase: "p"})
+	// Hub with only an emitter: metric calls are no-ops, not panics.
+	hub = &Hub{}
+	hub.Counter("x").Inc()
+	hub.Emit(PhaseEvent{Phase: "p"})
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c", "w", string(rune('a'+w%4))).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{10, 100}).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, c := range r.Snapshot().Counters {
+		total += c.Value
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+	if g := r.Gauge("g").Value(); g != 8000 {
+		t.Errorf("gauge = %v, want 8000", g)
+	}
+	if h := r.Histogram("h", nil); h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m").Inc()
+	r.Gauge("m")
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"os"
+	"strings"
+)
+
+// Sinks bundles the observability outputs behind the shared CLI flags
+// (-metrics-out, -events-json, -progress). With all flags off every
+// field is nil, so callers can wire a Sinks unconditionally: every obs
+// call on a nil sink is a no-op and no files are created.
+type Sinks struct {
+	// Hub carries the registry and/or emitter; nil when both are off.
+	Hub *Hub
+	// Progress renders live progress on stderr; nil unless -progress.
+	Progress *Progress
+
+	metricsPath string
+	events      *os.File
+}
+
+// OpenSinks builds sinks from the shared CLI flag values. The events
+// file is created eagerly (so open errors surface before a long run);
+// the metrics dump is written by Close.
+func OpenSinks(metricsOut, eventsJSON string, progress bool) (*Sinks, error) {
+	s := &Sinks{metricsPath: metricsOut}
+	var reg *Registry
+	var em *Emitter
+	if metricsOut != "" {
+		reg = NewRegistry()
+	}
+	if eventsJSON != "" {
+		f, err := os.Create(eventsJSON)
+		if err != nil {
+			return nil, err
+		}
+		s.events = f
+		em = NewEmitter(f)
+	}
+	if reg != nil || em != nil {
+		s.Hub = &Hub{Reg: reg, Em: em}
+	}
+	if progress {
+		s.Progress = NewProgress(os.Stderr, DefaultProgressInterval)
+	}
+	return s, nil
+}
+
+// Enabled reports whether any sink is active.
+func (s *Sinks) Enabled() bool {
+	return s != nil && (s.Hub != nil || s.Progress != nil)
+}
+
+// Close writes the metrics dump (Prometheus text, or JSON when the path
+// ends in .json) and closes the event stream, returning the first error
+// encountered. Safe on a nil or all-off Sinks.
+func (s *Sinks) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.Hub != nil && s.Hub.Reg != nil && s.metricsPath != "" {
+		f, err := os.Create(s.metricsPath)
+		if err != nil {
+			first = err
+		} else {
+			if strings.HasSuffix(s.metricsPath, ".json") {
+				err = s.Hub.Reg.WriteJSON(f)
+			} else {
+				err = s.Hub.Reg.WritePrometheus(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	if s.events != nil {
+		if err := s.Hub.Em.Err(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.events.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

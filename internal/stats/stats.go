@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // RNG is a xoshiro256** generator. It is deterministic for a given seed
@@ -143,6 +144,51 @@ func BinomialCI95(successes, n int) Proportion {
 	p := float64(successes) / float64(n)
 	half := z95 * math.Sqrt(p*(1-p)/float64(n))
 	return Proportion{P: p, HalfCI: half, N: n, Successes: successes}
+}
+
+// Quantile returns the q-quantile of xs (0 for empty input) by the
+// nearest-rank method on a sorted copy: element floor(q*n), clamped to
+// the last element. q is clamped to [0, 1]. q=0.5 is the upper median,
+// matching the campaign's median-crash-latency convention.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[rankIndex(len(s), q)]
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// QuantileUint64 is Quantile over uint64 samples (instruction counts,
+// latencies) without a lossy float conversion.
+func QuantileUint64(xs []uint64, q float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[rankIndex(len(s), q)]
+}
+
+// MedianUint64 returns the upper median of xs.
+func MedianUint64(xs []uint64) uint64 { return QuantileUint64(xs, 0.5) }
+
+// rankIndex maps a quantile to a nearest-rank index in [0, n).
+func rankIndex(n int, q float64) int {
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
 }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).

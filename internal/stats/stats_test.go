@@ -190,3 +190,47 @@ func TestWeibullPanics(t *testing.T) {
 	}()
 	NewRNG(1).Weibull(0, 100)
 }
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 2}, {0.5, 3}, {0.9, 5}, {1, 5},
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+	// The input must not be mutated (Quantile sorts a copy).
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianMatchesUpperMedian(t *testing.T) {
+	// Median is the nearest-rank upper median: for even n it picks
+	// element n/2 of the sorted order, matching the campaign's historical
+	// MedianCrashLatency semantics.
+	if got := Median([]float64{1, 2, 3, 4}); got != 3 {
+		t.Errorf("even median = %v, want 3", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Errorf("singleton median = %v", got)
+	}
+	if got := MedianUint64([]uint64{10, 30, 20, 40}); got != 30 {
+		t.Errorf("uint64 even median = %v, want 30", got)
+	}
+	if got := MedianUint64(nil); got != 0 {
+		t.Errorf("empty uint64 median = %v", got)
+	}
+	if got := QuantileUint64([]uint64{1, 2, 3, 4, 100}, 0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100", got)
+	}
+}

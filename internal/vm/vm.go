@@ -91,6 +91,12 @@ type Machine struct {
 	Halted  bool
 	Retired uint64 // retired (committed) instruction count
 
+	// OnTrap, when set, observes every machine exception as it is raised,
+	// before the debugger decides its disposition. It must not mutate
+	// machine state; the observability layer uses it to count traps by
+	// signal. The no-trap fast path is unaffected.
+	OnTrap func(*Trap)
+
 	out io.Writer
 }
 
@@ -151,7 +157,11 @@ func accessSignal(err error) (Signal, *mem.AccessError) {
 }
 
 func (m *Machine) trap(sig Signal, in isa.Instruction, ae *mem.AccessError) *Trap {
-	return &Trap{Signal: sig, PC: m.PC, Instr: in, Access: ae}
+	t := &Trap{Signal: sig, PC: m.PC, Instr: in, Access: ae}
+	if m.OnTrap != nil {
+		m.OnTrap(t)
+	}
+	return t
 }
 
 // Step executes exactly one instruction. On success the architectural
@@ -164,7 +174,11 @@ func (m *Machine) Step() error {
 	}
 	in, ok := m.Prog.InstrAt(m.PC)
 	if !ok {
-		return &Trap{Signal: SIGSEGV, PC: m.PC, Fetch: true}
+		t := &Trap{Signal: SIGSEGV, PC: m.PC, Fetch: true}
+		if m.OnTrap != nil {
+			m.OnTrap(t)
+		}
+		return t
 	}
 
 	next := m.PC + isa.InstrBytes

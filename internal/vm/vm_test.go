@@ -390,3 +390,54 @@ func TestShiftMasking(t *testing.T) {
 		t.Errorf("shl/shr = %d/%d", m.X[isa.X3], m.X[isa.X4])
 	}
 }
+
+func TestOnTrapHook(t *testing.T) {
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.LI, Rd: isa.X1, Imm: int64(0x4000_0000_0000)},
+		isa.Instruction{Op: isa.LD, Rd: isa.X2, Rs1: isa.X1, Imm: 0},
+		isa.Instruction{Op: isa.HALT},
+	))
+	var seen []*Trap
+	m.OnTrap = func(tr *Trap) { seen = append(seen, tr) }
+	err := m.Run(100)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Signal != SIGSEGV {
+		t.Fatalf("err = %v, want SIGSEGV trap", err)
+	}
+	if len(seen) != 1 || seen[0] != trap {
+		t.Fatalf("OnTrap observed %d traps, want the returned one", len(seen))
+	}
+	// Retrying the faulting instruction raises (and reports) again.
+	err = m.Step()
+	if !errors.As(err, &trap) || len(seen) != 2 {
+		t.Fatalf("retry: err = %v, hooks = %d", err, len(seen))
+	}
+	// A clean run never invokes the hook.
+	m2 := newMachine(t, prog(isa.Instruction{Op: isa.HALT}))
+	m2.OnTrap = func(*Trap) { t.Error("hook fired on a clean run") }
+	if err := m2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnTrapHookFetchFault(t *testing.T) {
+	// Jump outside the code segment: the fetch-miss path must also report.
+	m := newMachine(t, prog(
+		isa.Instruction{Op: isa.JMP, Imm: int64(isa.GlobalBase)},
+	))
+	fired := 0
+	m.OnTrap = func(tr *Trap) {
+		fired++
+		if !tr.Fetch {
+			t.Errorf("trap not marked as fetch fault: %+v", tr)
+		}
+	}
+	err := m.Run(100)
+	var trap *Trap
+	if !errors.As(err, &trap) || !trap.Fetch {
+		t.Fatalf("err = %v, want fetch trap", err)
+	}
+	if fired != 1 {
+		t.Errorf("hook fired %d times", fired)
+	}
+}
