@@ -115,26 +115,34 @@ func selectApps(sel string) ([]*apps.App, error) {
 // total number of injections.
 func runTable(sel []*apps.App, mode inject.Mode, n int, seed uint64, workers int) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Benchmark\tDetected\tBenign\tSDC\tDoubleCrash\tC-Detected\tC-Benign\tC-SDC\tHang\tCrashRate\tContinuability\tMedianCrashLatency\n")
+	fmt.Fprintf(w, "Benchmark\tDetected\tBenign\tSDC\tDoubleCrash\tC-Detected\tC-Benign\tC-SDC\tHang\tCrashRate\tContinuability\tMedianCrashLatency\tDeadDest\tMaskedDead\tMaskedLive\n")
 	var agg outcome.Counts
+	var aggLive, aggDead outcome.Counts
 	for _, a := range sel {
 		r := mustRun(&inject.Campaign{App: a, Mode: mode, N: n, Seed: seed, Workers: workers})
 		agg.Merge(r.Counts)
-		row(w, a.Name, &r.Counts, r.Metrics, fmt.Sprintf("%d", r.MedianCrashLatency()))
+		aggLive.Merge(r.LiveDest)
+		aggDead.Merge(r.DeadDest)
+		row(w, a.Name, &r.Counts, r.Metrics, fmt.Sprintf("%d", r.MedianCrashLatency()), &r.LiveDest, &r.DeadDest)
 	}
 	if len(sel) > 1 {
-		row(w, "AVERAGE", &agg, outcome.ComputeMetrics(&agg), "-")
+		row(w, "AVERAGE", &agg, outcome.ComputeMetrics(&agg), "-", &aggLive, &aggDead)
 	}
 	w.Flush()
 }
 
-func row(w *tabwriter.Writer, name string, c *outcome.Counts, m outcome.Metrics, latency string) {
+func row(w *tabwriter.Writer, name string, c *outcome.Counts, m outcome.Metrics, latency string, live, dead *outcome.Counts) {
 	pct := func(cl outcome.Class) string { return fmt.Sprintf("%.2f%%", 100*c.Frac(cl)) }
 	crash := float64(c.CrashTotal()) / float64(c.N)
-	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.2f%%\t%.2f%%\t%s\n",
+	deadFrac := 0.0
+	if c.N > 0 {
+		deadFrac = float64(dead.N) / float64(c.N)
+	}
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.2f%%\t%.2f%%\t%s\t%.2f%%\t%.2f%%\t%.2f%%\n",
 		name, pct(outcome.Detected), pct(outcome.Benign), pct(outcome.SDC),
 		pct(outcome.DoubleCrash), pct(outcome.CDetected), pct(outcome.CBenign),
-		pct(outcome.CSDC), pct(outcome.Hang), 100*crash, 100*m.Continuability, latency)
+		pct(outcome.CSDC), pct(outcome.Hang), 100*crash, 100*m.Continuability, latency,
+		100*deadFrac, 100*inject.MaskedFrac(dead), 100*inject.MaskedFrac(live))
 }
 
 // runCompare prints the Figure-5 layout: the four Section-5.3 metrics for

@@ -1,0 +1,249 @@
+// letgo-vet lints assembled or compiled programs using the static analyses
+// in internal/analysis: unreachable blocks, execution falling off a
+// function's end, misaligned memory offsets, reads of never-written
+// registers, unbalanced push/pop along any path, calls into non-function
+// addresses, and branches out of the code segment.
+//
+// Usage:
+//
+//	letgo-vet prog.s other.mc image.lgo     # lint files
+//	letgo-vet -apps all                     # lint the built-in benchmarks
+//	letgo-vet -embedded examples            # lint MiniC embedded in Go files
+//	letgo-vet -cfg prog.s                   # dump the CFG instead
+//
+// Exit status is 1 when any finding is reported, like go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/analysis"
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/lang"
+)
+
+// target is one named program to lint.
+type target struct {
+	name string
+	prog *isa.Program
+}
+
+// finding is the JSON view of one diagnostic.
+type finding struct {
+	Program string `json:"program"`
+	Addr    string `json:"addr"`
+	Func    string `json:"func"`
+	Check   string `json:"check"`
+	Msg     string `json:"msg"`
+}
+
+func main() {
+	appSel := flag.String("apps", "", "lint built-in benchmark apps: comma-separated names, or 'all'")
+	embedded := flag.String("embedded", "", "lint MiniC programs embedded as string constants in Go files under this directory")
+	format := flag.String("format", "text", "output format: text or json")
+	dumpCFG := flag.Bool("cfg", false, "dump the control-flow graph instead of linting")
+	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+
+	var targets []target
+	if *appSel != "" {
+		ts, err := appTargets(*appSel)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, ts...)
+	}
+	if *embedded != "" {
+		ts, err := embeddedTargets(*embedded)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, ts...)
+	}
+	for _, path := range flag.Args() {
+		tg, err := fileTarget(path)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, tg)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "letgo-vet: nothing to lint (give files, -apps or -embedded)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var all []finding
+	for _, tg := range targets {
+		an := analysis.Analyze(tg.prog)
+		if *dumpCFG {
+			fmt.Printf("# %s\n%s", tg.name, an)
+			continue
+		}
+		for _, f := range an.Vet() {
+			all = append(all, finding{
+				Program: tg.name,
+				Addr:    fmt.Sprintf("0x%x", f.Addr),
+				Func:    f.Func,
+				Check:   string(f.Check),
+				Msg:     f.Msg,
+			})
+		}
+	}
+	if *dumpCFG {
+		return
+	}
+
+	switch *format {
+	case "json":
+		if all == nil {
+			all = []finding{} // encode a clean run as [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range all {
+			where := f.Func
+			if where == "" {
+				where = "<anon>"
+			}
+			fmt.Printf("%s: %s (%s): %s: %s\n", f.Program, f.Addr, where, f.Check, f.Msg)
+		}
+		if len(all) == 0 {
+			fmt.Printf("letgo-vet: %d program(s) clean\n", len(targets))
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// appTargets resolves -apps into compiled benchmark programs.
+func appTargets(sel string) ([]target, error) {
+	var list []*apps.App
+	if strings.EqualFold(sel, "all") {
+		list = apps.All()
+	} else {
+		for _, name := range strings.Split(sel, ",") {
+			a, ok := apps.ByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown app %q", name)
+			}
+			list = append(list, a)
+		}
+	}
+	var out []target
+	for _, a := range list {
+		p, err := a.Compile()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, target{name: a.Name, prog: p})
+	}
+	return out, nil
+}
+
+// fileTarget loads one program file by extension: .s assembles, .mc
+// compiles, .lgo loads an object image.
+func fileTarget(path string) (target, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return target{}, err
+	}
+	var prog *isa.Program
+	switch {
+	case strings.HasSuffix(path, ".s"):
+		prog, err = asm.Assemble(string(data))
+	case strings.HasSuffix(path, ".mc"):
+		prog, err = lang.Compile(string(data))
+	case strings.HasSuffix(path, ".lgo"):
+		prog = &isa.Program{}
+		err = prog.UnmarshalBinary(data)
+	default:
+		err = fmt.Errorf("unknown file type %q (want .s, .mc or .lgo)", path)
+	}
+	if err != nil {
+		return target{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return target{name: path, prog: prog}, nil
+}
+
+// embeddedTargets walks a directory tree for Go files and compiles every
+// string constant that looks like a MiniC program (contains "func main").
+// This lints the programs the examples embed without duplicating their
+// sources.
+func embeddedTargets(dir string) ([]target, error) {
+	var out []target
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		srcs, ferr := embeddedMiniC(path)
+		if ferr != nil {
+			return ferr
+		}
+		for name, src := range srcs {
+			prog, cerr := lang.Compile(src)
+			if cerr != nil {
+				return fmt.Errorf("%s: embedded program %s: %w", path, name, cerr)
+			}
+			out = append(out, target{name: path + "#" + name, prog: prog})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no embedded MiniC programs found under %s", dir)
+	}
+	return out, nil
+}
+
+// embeddedMiniC extracts candidate MiniC sources from one Go file: string
+// literals containing a MiniC main function.
+func embeddedMiniC(path string) (map[string]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		lit, ok := node.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+			return true
+		}
+		src := strings.Trim(lit.Value, "`")
+		if !strings.Contains(src, "func main") {
+			return true
+		}
+		n++
+		out[fmt.Sprintf("prog%d", n)] = src
+		return true
+	})
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "letgo-vet:", err)
+	os.Exit(1)
+}

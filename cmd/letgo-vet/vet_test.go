@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/analysis"
+)
+
+// TestAppsLintClean is the acceptance gate: every built-in benchmark app
+// must produce zero findings under the full check suite.
+func TestAppsLintClean(t *testing.T) {
+	targets, err := appTargets("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 6 {
+		t.Fatalf("expected the six Table-2 apps, got %d", len(targets))
+	}
+	for _, tg := range targets {
+		for _, f := range analysis.Analyze(tg.prog).Vet() {
+			t.Errorf("%s: %s", tg.name, f)
+		}
+	}
+}
+
+// TestExamplesLintClean covers every MiniC program embedded in the
+// examples tree (quickstart and customapp carry one each).
+func TestExamplesLintClean(t *testing.T) {
+	targets, err := embeddedTargets("../../examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 2 {
+		t.Fatalf("expected at least 2 embedded programs, got %d", len(targets))
+	}
+	for _, tg := range targets {
+		for _, f := range analysis.Analyze(tg.prog).Vet() {
+			t.Errorf("%s: %s", tg.name, f)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sync"
 
+	"github.com/letgo-hpc/letgo/internal/asm"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/lang"
 	"github.com/letgo-hpc/letgo/internal/vm"
@@ -33,8 +34,12 @@ import (
 type App struct {
 	Name   string
 	Domain string
-	// Source is the MiniC program text.
+	// Source is the MiniC program text. When Asm is set instead, the app
+	// is assembled from it rather than compiled (used by test apps that
+	// need instruction-exact code, e.g. statically dead loads the MiniC
+	// compiler would never emit).
 	Source string
+	Asm    string
 	// Iterative marks convergence-based apps; HPL (a direct method) is
 	// evaluated separately in the paper (Sections 5.5 and 8).
 	Iterative bool
@@ -56,7 +61,11 @@ type App struct {
 // Compile returns the app's program image, compiling once and caching.
 func (a *App) Compile() (*isa.Program, error) {
 	a.compileOnce.Do(func() {
-		a.prog, a.compileErr = lang.Compile(a.Source)
+		if a.Asm != "" {
+			a.prog, a.compileErr = asm.Assemble(a.Asm)
+		} else {
+			a.prog, a.compileErr = lang.Compile(a.Source)
+		}
 		if a.compileErr != nil {
 			a.compileErr = fmt.Errorf("apps: compiling %s: %w", a.Name, a.compileErr)
 		}

@@ -21,6 +21,7 @@ package core
 import (
 	"time"
 
+	"github.com/letgo-hpc/letgo/internal/analysis"
 	"github.com/letgo-hpc/letgo/internal/debug"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/obs"
@@ -193,6 +194,10 @@ func Attach(m *vm.Machine, an *pin.Analysis, opts Options) *Runner {
 		reg.Counter("letgo_repairs_total")
 		reg.Help("letgo_signals_intercepted_total", "Crash-causing signals stopped by the monitor, by signal.")
 		reg.Help("letgo_repair_giveups_total", "Repairs declined, by reason (repair_budget, unrepairable).")
+		reg.Help("letgo_h2_frame_bound_total", "Heuristic II frame-bound lookups, by bound source.")
+		for _, src := range []analysis.BoundSource{analysis.BoundDataflow, analysis.BoundPrologue, analysis.BoundFallback} {
+			reg.Counter("letgo_h2_frame_bound_total", "source", src.String())
+		}
 	}
 	return &Runner{Dbg: d, An: an, Opts: opts}
 }
@@ -353,12 +358,11 @@ func (r *Runner) heuristicII(in isa.Instruction, ev *Event) {
 		return
 	}
 
-	frame, ok := r.An.FrameSize(r.Dbg.PC())
-	if !ok {
-		// No prologue information: fall back to a generous bound so wild
-		// corruption is still caught.
-		frame = 4096
-	}
+	// The legitimate bp-sp gap at this PC: the exact per-PC stack-depth
+	// bound when the dataflow reaches the instruction, else the prologue
+	// frame size, else the named analysis.FallbackFrameBytes constant.
+	frame, src := r.An.FrameBoundAt(r.Dbg.PC())
+	r.Opts.Obs.Counter("letgo_h2_frame_bound_total", "source", src.String()).Inc()
 	bound := frame + r.Opts.frameSlack()
 
 	sp := r.Dbg.IntReg(isa.SP)

@@ -26,11 +26,14 @@ const (
 
 // Execution is the per-injection observation delivered to an Observer.
 type Execution struct {
-	Index   int // plan index in [0, N)
-	Worker  int // worker that ran the injection
-	Class   outcome.Class
-	Signal  vm.Signal
-	Retired uint64 // instructions the injected run retired
+	Index  int // plan index in [0, N)
+	Worker int // worker that ran the injection
+	Class  outcome.Class
+	Signal vm.Signal
+	// DestLive says whether the fault's destination register was
+	// statically live at the injection site.
+	DestLive bool
+	Retired  uint64 // instructions the injected run retired
 	// Latency is the injection-to-crash distance (valid when HasLatency).
 	Latency    uint64
 	HasLatency bool
@@ -96,6 +99,21 @@ type Result struct {
 	// crash LetGo intercepted), the dynamic-instruction distance from
 	// injection to the first crash signal — the paper's observation 3.
 	CrashLatencies []uint64
+	// LiveDest and DeadDest split Counts by the static liveness of the
+	// corrupted destination register at the injection site, correlating
+	// the liveness analysis with Masked/SDC rates (Section 6's
+	// "zero-filling is usually benign" argument, quantified).
+	LiveDest, DeadDest outcome.Counts
+}
+
+// MaskedFrac returns the fraction of runs in c that were architecturally
+// masked: the program finished with golden-matching output, with or
+// without LetGo's help (Benign + C-Benign).
+func MaskedFrac(c *outcome.Counts) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.By[outcome.Benign]+c.By[outcome.CBenign]) / float64(c.N)
 }
 
 // MedianCrashLatency returns the median injection-to-crash distance in
@@ -215,7 +233,8 @@ func (c *Campaign) Run() (*Result, error) {
 				if c.Observer != nil {
 					c.Observer.Executed(Execution{
 						Index: i, Worker: w, Class: r.class, Signal: r.sig,
-						Retired: r.retired, Latency: r.latency, HasLatency: r.hasLatency,
+						DestLive: r.destLive,
+						Retired:  r.retired, Latency: r.latency, HasLatency: r.hasLatency,
 					})
 				}
 			}
@@ -237,6 +256,11 @@ func (c *Campaign) Run() (*Result, error) {
 	}
 	for _, r := range results {
 		res.Counts.Add(r.class)
+		if r.destLive {
+			res.LiveDest.Add(r.class)
+		} else {
+			res.DeadDest.Add(r.class)
+		}
 		if r.class.CrashBranch() && r.sig != vm.SIGNONE {
 			res.Signals[r.sig]++
 		}
@@ -256,6 +280,7 @@ func (c *Campaign) Run() (*Result, error) {
 type injResult struct {
 	class      outcome.Class
 	sig        vm.Signal
+	destLive   bool
 	latency    uint64
 	hasLatency bool
 	retired    uint64
@@ -293,6 +318,7 @@ func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget ui
 	return injResult{
 		class:      outcome.Classify(rec),
 		sig:        sig,
+		destLive:   ro.DestLive,
 		latency:    ro.CrashLatency,
 		hasLatency: ro.HasLatency,
 		retired:    ro.Retired,

@@ -138,6 +138,13 @@ type RunOutcome struct {
 	Signal   vm.Signal
 	Retired  uint64
 	Machine  *vm.Machine // final machine state (for output checks)
+	// DestLive records whether the corrupted destination register was
+	// statically live after the injection site (per the backward liveness
+	// pass). A fault into a dead register can only propagate through a
+	// later crash-signal path, so dead-destination injections should skew
+	// toward Masked outcomes — the paper's Section-6 intuition for why
+	// zero-filling is usually benign, made measurable.
+	DestLive bool
 	// CrashLatency is the number of instructions retired between the
 	// injection and the first crash-causing signal (valid when the run
 	// crashed, or when LetGo intercepted a crash). The paper's third
@@ -198,6 +205,7 @@ func executeHub(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, overr
 	injectedAt := m.Retired
 
 	out := RunOutcome{Plan: plan, Machine: m}
+	out.DestLive, _ = an.DestLiveAt(plan.Site.Addr)
 	if runner != nil {
 		res := runner.Run(budget)
 		out.Repaired = res.Repairs > 0

@@ -1,0 +1,93 @@
+package inject
+
+import (
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// deadDestApp is a hand-written assembly app whose loop body carries one
+// statically dead load (x7 is written every iteration and never read) next
+// to a live one. The MiniC compiler never emits dead loads, so assembly is
+// the only way to exercise the dead-destination branch of the liveness
+// correlation at a meaningful injection rate.
+func deadDestApp(t *testing.T) *apps.App {
+	t.Helper()
+	a := &apps.App{
+		Name:   "DEADDEST-TEST",
+		Domain: "test",
+		Asm: `
+			.entry _start
+			.int arr 3 1 4 1 5 9 2 6
+			.double out 0
+			_start:
+			    call main
+			    halt
+			main:
+			    push bp
+			    mov bp, sp
+			    addi sp, sp, -16
+			    li x1, arr
+			    li x2, 0          ; i
+			    li x3, 8          ; n
+			    fli f1, 0         ; sum
+			.loop:
+			    bge x2, x3, .done
+			    mov x4, x2
+			    muli x4, x4, 8
+			    add x5, x1, x4
+			    ld x6, [x5+0]     ; live load: feeds the sum
+			    ld x7, [x5+0]     ; dead load: x7 is never read
+			    i2f f2, x6
+			    fadd f1, f1, f2
+			    addi x2, x2, 1
+			    jmp .loop
+			.done:
+			    li x8, out
+			    fst f1, [x8+0]
+			    mov sp, bp
+			    pop bp
+			    ret
+		`,
+		Accept: func(m *vm.Machine) (bool, error) { return true, nil },
+		Output: func(m *vm.Machine) ([]float64, error) {
+			return m.ReadGlobalFloats("out", 1)
+		},
+	}
+	if _, err := a.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDeadDestinationsSkewMasked is the liveness-correlation claim on a
+// seeded campaign: faults whose destination register is statically dead at
+// the injection site cannot propagate to the output, so the masked
+// (golden-matching) rate of the dead-destination group must exceed the
+// live group's — the paper's Section-6 explanation for why Heuristic I's
+// zero-filling is usually benign, asserted rather than assumed.
+func TestDeadDestinationsSkewMasked(t *testing.T) {
+	c := &Campaign{App: deadDestApp(t), Mode: LetGoE, N: 400, Seed: 7}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadDest.N == 0 {
+		t.Fatal("no injections hit the dead destination; the app should sample ld x7")
+	}
+	if res.LiveDest.N == 0 {
+		t.Fatal("no injections hit live destinations")
+	}
+	if res.DeadDest.N+res.LiveDest.N != res.N {
+		t.Fatalf("liveness split %d+%d does not cover N=%d",
+			res.DeadDest.N, res.LiveDest.N, res.N)
+	}
+	dead, live := MaskedFrac(&res.DeadDest), MaskedFrac(&res.LiveDest)
+	if dead != 1.0 {
+		t.Errorf("dead-destination masked rate = %.3f, want 1.0 (a dead register cannot propagate)", dead)
+	}
+	if dead <= live {
+		t.Errorf("masked rates: dead %.3f <= live %.3f, want dead group to skew masked", dead, live)
+	}
+}

@@ -9,7 +9,9 @@ package pin
 
 import (
 	"fmt"
+	"sync"
 
+	"github.com/letgo-hpc/letgo/internal/analysis"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -17,18 +19,22 @@ import (
 // Analysis wraps a program with derived static information.
 type Analysis struct {
 	prog *isa.Program
-	// frameCache memoizes FrameSize by function start address.
-	frameCache map[uint64]frameInfo
-}
-
-type frameInfo struct {
-	size uint64
-	ok   bool
+	// static is the CFG/dataflow layer, built lazily on first use: the
+	// profiling-only paths (OpcodeMix, ProfileRun) never need it.
+	staticOnce sync.Once
+	static     *analysis.Analysis
 }
 
 // Analyze builds an Analysis for prog.
 func Analyze(prog *isa.Program) *Analysis {
-	return &Analysis{prog: prog, frameCache: make(map[uint64]frameInfo)}
+	return &Analysis{prog: prog}
+}
+
+// Static returns the program's CFG, stack-depth and liveness analysis,
+// building it on first call. The result is immutable and safe to share.
+func (a *Analysis) Static() *analysis.Analysis {
+	a.staticOnce.Do(func() { a.static = analysis.Analyze(a.prog) })
+	return a.static
 }
 
 // Program returns the analyzed program.
@@ -61,43 +67,26 @@ func (a *Analysis) FuncAt(addr uint64) (isa.Symbol, bool) {
 // mirroring the paper's Listing-1 analysis ("locate the instruction that
 // shows how much memory the function needs on the stack"). The returned
 // bound is used by Heuristic II as sp <= bp <= sp+N (+slack for pushed
-// registers). Functions without the full prologue (e.g. leaf functions
-// that allocate nothing) report ok=false.
+// registers). Functions without the full prologue report ok=false. The
+// scan itself lives in internal/analysis (PrologueFrame); this wrapper
+// keeps pin's historical surface.
 func (a *Analysis) FrameSize(addr uint64) (uint64, bool) {
-	fn, ok := a.prog.FuncAt(addr)
-	if !ok {
-		return 0, false
-	}
-	if fi, hit := a.frameCache[fn.Addr]; hit {
-		return fi.size, fi.ok
-	}
-	size, found := a.scanPrologue(fn)
-	a.frameCache[fn.Addr] = frameInfo{size: size, ok: found}
-	return size, found
+	return a.Static().PrologueFrame(addr)
 }
 
-func (a *Analysis) scanPrologue(fn isa.Symbol) (uint64, bool) {
-	in0, ok0 := a.prog.InstrAt(fn.Addr)
-	in1, ok1 := a.prog.InstrAt(fn.Addr + isa.InstrBytes)
-	in2, ok2 := a.prog.InstrAt(fn.Addr + 2*isa.InstrBytes)
-	if !ok0 || !ok1 || !ok2 {
-		return 0, false
-	}
-	if in0.Op != isa.PUSH || in0.Rs1 != isa.BP {
-		return 0, false
-	}
-	if in1.Op != isa.MOV || in1.Rd != isa.BP || in1.Rs1 != isa.SP {
-		return 0, false
-	}
-	if in2.Op != isa.ADDI || in2.Rd != isa.SP || in2.Rs1 != isa.SP || in2.Imm >= 0 {
-		// A function that allocates no locals still has a valid zero-size
-		// frame if it skips the ADDI; report it as frame 0.
-		if in2.Op != isa.ADDI {
-			return 0, true
-		}
-		return 0, false
-	}
-	return uint64(-in2.Imm), true
+// FrameBoundAt returns the per-PC bound Heuristic II should place on the
+// legitimate bp-sp gap at addr: the exact stack-depth dataflow bound when
+// the analysis reaches the instruction, then the prologue-scan frame,
+// then analysis.FallbackFrameBytes. The source says which one was used.
+func (a *Analysis) FrameBoundAt(addr uint64) (uint64, analysis.BoundSource) {
+	return a.Static().FrameBoundAt(addr)
+}
+
+// DestLiveAt reports whether the destination register of the instruction
+// at addr is statically live after the instruction retires. ok is false
+// when the instruction writes no register.
+func (a *Analysis) DestLiveAt(addr uint64) (live, ok bool) {
+	return a.Static().DestLiveAt(addr)
 }
 
 // Profile is the result of the one-time profiling phase: the total dynamic

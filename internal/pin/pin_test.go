@@ -72,6 +72,59 @@ func TestFrameSizeNoAllocPrologue(t *testing.T) {
 	}
 }
 
+func TestFrameSizeShortFunctions(t *testing.T) {
+	// Functions shorter than three instructions: a one-instruction
+	// function can't carry a prologue; a two-instruction `push bp;
+	// mov bp, sp` is a complete zero-frame prologue even when nothing
+	// follows it in the code segment.
+	a := analyze(t, `
+		.entry main
+		main:
+		    push bp
+		    mov bp, sp
+		    addi sp, sp, -16
+		    mov sp, bp
+		    pop bp
+		    halt
+		tiny:
+		    ret
+		last:
+		    push bp
+		    mov bp, sp
+	`)
+	tiny, _ := a.Program().Symbol("tiny")
+	if _, ok := a.FrameSize(tiny.Addr); ok {
+		t.Error("one-instruction function reported a frame")
+	}
+	// `last` ends the code segment: the third InstrAt read fails, which
+	// the old triple-read scan quietly turned into ok=false. The prologue
+	// is nonetheless complete with a zero-size frame.
+	last, _ := a.Program().Symbol("last")
+	size, ok := a.FrameSize(last.Addr + isa.InstrBytes)
+	if !ok || size != 0 {
+		t.Errorf("FrameSize(last) = %d,%v, want 0,true", size, ok)
+	}
+}
+
+func TestFrameSizeLastFunctionWithAlloc(t *testing.T) {
+	// A full prologue whose ADDI is the final instruction of the code
+	// segment must still report its frame.
+	a := analyze(t, `
+		.entry main
+		main:
+		    halt
+		tail:
+		    push bp
+		    mov bp, sp
+		    addi sp, sp, -64
+	`)
+	tail, _ := a.Program().Symbol("tail")
+	size, ok := a.FrameSize(tail.Addr)
+	if !ok || size != 64 {
+		t.Errorf("FrameSize(tail) = %d,%v, want 64,true", size, ok)
+	}
+}
+
 func TestFrameSizeOutsideAnyFunction(t *testing.T) {
 	a := analyze(t, frameSrc)
 	if _, ok := a.FrameSize(isa.CodeBase + 1<<20); ok {

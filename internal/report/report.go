@@ -63,6 +63,12 @@ type CampaignRow struct {
 	ContinuedSDC       float64 `json:"continued_sdc"`
 	MedianCrashLatency uint64  `json:"median_crash_latency_instrs"`
 	GoldenInstructions uint64  `json:"golden_instructions"`
+	// Destination-liveness correlation: what fraction of injections hit a
+	// statically dead destination register, and the masked (Benign +
+	// C-Benign) rate within the dead and live groups.
+	DeadDestFrac float64 `json:"dead_dest_frac"`
+	MaskedDead   float64 `json:"masked_dead"`
+	MaskedLive   float64 `json:"masked_live"`
 }
 
 // Row flattens a campaign result.
@@ -87,14 +93,24 @@ func Row(r *inject.Result) CampaignRow {
 		ContinuedSDC:       r.Metrics.ContinuedSDC,
 		MedianCrashLatency: r.MedianCrashLatency(),
 		GoldenInstructions: r.GoldenRetired,
+		DeadDestFrac:       frac(r.DeadDest.N, r.N),
+		MaskedDead:         inject.MaskedFrac(&r.DeadDest),
+		MaskedLive:         inject.MaskedFrac(&r.LiveDest),
 	}
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 var campaignHeaders = []string{
 	"app", "mode", "n", "detected", "benign", "sdc", "double_crash",
 	"c_detected", "c_benign", "c_sdc", "hang", "crash_rate",
 	"continuability", "continued_correct", "continued_sdc",
-	"median_crash_latency",
+	"median_crash_latency", "dead_dest", "masked_dead", "masked_live",
 }
 
 func (r CampaignRow) cells() []string {
@@ -105,6 +121,7 @@ func (r CampaignRow) cells() []string {
 		pct(r.CDetected), pct(r.CBenign), pct(r.CSDC), pct(r.Hang),
 		pct(r.CrashRate), pct(r.Continuability), pct(r.ContinuedCorrect),
 		pct(r.ContinuedSDC), fmt.Sprintf("%d", r.MedianCrashLatency),
+		pct(r.DeadDestFrac), pct(r.MaskedDead), pct(r.MaskedLive),
 	}
 }
 

@@ -1,0 +1,275 @@
+// opcheck is a vet tool (go vet -vettool=...) that flags switch statements
+// over isa.Op with no default clause that do not enumerate every opcode.
+// The ISA grows over time; an opcode silently falling through a dispatch
+// switch (interpreter, dataflow transfer function, liveness use/def sets)
+// is exactly the class of bug that produces wrong campaign numbers rather
+// than crashes, so it is enforced mechanically.
+//
+// The tool speaks cmd/go's unitchecker protocol with only the standard
+// library: it answers -V=full and -flags, and otherwise receives a JSON
+// *.cfg file describing one package unit (file list, import map, export
+// data locations), typechecks the unit against the compiler-produced
+// export data, and reports diagnostics on stderr with a nonzero exit.
+//
+// Usage:
+//
+//	go build -o /tmp/opcheck ./tools/opcheck
+//	go vet -vettool=/tmp/opcheck ./...
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// isaPath is the import path of the package defining the Op type.
+const isaPath = "github.com/letgo-hpc/letgo/internal/isa"
+
+// config mirrors the fields of cmd/go's vet.cfg JSON that this tool needs
+// (the unitchecker wire format).
+type config struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// Protocol preamble: cmd/go probes the tool's identity (for the build
+	// cache key) and its flag set before dispatching package units.
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion(progname)
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected a single vet .cfg argument (run via go vet -vettool)\n", progname)
+		os.Exit(2)
+	}
+
+	exit, err := run(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	os.Exit(exit)
+}
+
+// printVersion emits the tool-ID line cmd/go parses from -V=full: name,
+// "version", and a build ID derived from the executable so cached vet
+// results are invalidated when the tool changes.
+func printVersion(progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, id)
+}
+
+func run(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The facts file must exist for cmd/go to cache the unit; this tool
+	// carries no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, &cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags := checkOpSwitches(fset, files, info, pkg)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// typecheck runs go/types over the unit, resolving imports through the
+// export-data files cmd/go listed in the config.
+func typecheck(fset *token.FileSet, cfg *config, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compImp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return compImp.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// checkOpSwitches reports every switch whose tag has type isa.Op, has no
+// default clause, and does not cover all defined opcodes.
+func checkOpSwitches(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) []string {
+	var diags []string
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			opType := opNamed(info.Types[sw.Tag].Type)
+			if opType == nil {
+				return true
+			}
+			covered := map[int64]bool{}
+			for _, stmt := range sw.Body.List {
+				clause := stmt.(*ast.CaseClause)
+				if clause.List == nil {
+					return true // default clause: exhaustive by construction
+				}
+				for _, e := range clause.List {
+					tv := info.Types[e]
+					if tv.Value == nil {
+						return true // non-constant case: not analyzable
+					}
+					if v, ok := constant.Int64Val(tv.Value); ok {
+						covered[v] = true
+					}
+				}
+			}
+			missing := missingOps(opType, covered)
+			if len(missing) > 0 {
+				diags = append(diags, fmt.Sprintf(
+					"%s: switch over %s.Op has no default clause and misses: %s",
+					fset.Position(sw.Pos()), opType.Obj().Pkg().Name(), summarize(missing)))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// opNamed returns the isa.Op named type if t is it (or an alias of it).
+func opNamed(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Op" || obj.Pkg() == nil || obj.Pkg().Path() != isaPath {
+		return nil
+	}
+	return named
+}
+
+// missingOps lists the exported Op constants whose values the switch does
+// not cover, in declaration-value order. The unexported numOps sentinel is
+// skipped (it is not a real opcode, and is invisible outside isa anyway).
+func missingOps(opType *types.Named, covered map[int64]bool) []string {
+	type opConst struct {
+		name string
+		val  int64
+	}
+	var missing []opConst
+	scope := opType.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), opType) {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok && !covered[v] {
+			missing = append(missing, opConst{name, v})
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].val < missing[j].val })
+	names := make([]string, len(missing))
+	for i, m := range missing {
+		names[i] = m.name
+	}
+	return names
+}
+
+// summarize keeps diagnostics readable when many opcodes are missing.
+func summarize(names []string) string {
+	const max = 8
+	if len(names) <= max {
+		return strings.Join(names, ", ")
+	}
+	return fmt.Sprintf("%s, ... (%d total)", strings.Join(names[:max], ", "), len(names))
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles opcheck into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "opcheck")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building opcheck: %v\n%s", err, out)
+	}
+	return tool
+}
+
+func runVet(t *testing.T, tool, pattern string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, pattern)
+	cmd.Dir = "../.." // repo root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+// TestRepoIsOpSwitchClean runs opcheck over the whole module via the real
+// go vet -vettool protocol: every switch over isa.Op must either have a
+// default clause or enumerate all opcodes.
+func TestRepoIsOpSwitchClean(t *testing.T) {
+	tool := buildTool(t)
+	out, err := runVet(t, tool, "./...")
+	if err != nil {
+		t.Fatalf("go vet -vettool=opcheck ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestFlagsNonExhaustiveSwitch checks the fixture package with a gappy
+// defaultless switch is flagged through the same protocol.
+func TestFlagsNonExhaustiveSwitch(t *testing.T) {
+	tool := buildTool(t)
+	out, err := runVet(t, tool, "./tools/opcheck/testdata/badswitch")
+	if err == nil {
+		t.Fatalf("expected vet failure on badswitch fixture, got success:\n%s", out)
+	}
+	if !strings.Contains(out, "switch over isa.Op has no default clause") {
+		t.Fatalf("missing diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(out, "ADD") {
+		t.Fatalf("diagnostic should name missing opcodes:\n%s", out)
+	}
+}

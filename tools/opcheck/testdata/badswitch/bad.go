@@ -1,0 +1,18 @@
+// Package badswitch is a fixture for opcheck's negative test: Classify
+// switches over isa.Op without a default clause and covers almost nothing,
+// so opcheck must flag it. The package is under testdata, so ./... never
+// builds it; only the test references it by explicit path.
+package badswitch
+
+import "github.com/letgo-hpc/letgo/internal/isa"
+
+// Classify misses most opcodes and has no default clause.
+func Classify(op isa.Op) string {
+	switch op {
+	case isa.NOP:
+		return "nop"
+	case isa.HALT:
+		return "halt"
+	}
+	return "other"
+}
