@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -23,6 +24,11 @@ type session struct {
 	// lastStop remembers the most recent stop for the letgo command.
 	lastStop *debug.Stop
 	budget   uint64
+	// checkpoints holds named COW forks of the machine (checkpoint /
+	// restore commands). Each is an immutable snapshot: restoring forks
+	// it again, so a checkpoint can be restored any number of times.
+	checkpoints map[string]*vm.Machine
+	nextCkpt    int
 }
 
 func newSession(prog *isa.Program, out io.Writer) (*session, error) {
@@ -31,12 +37,13 @@ func newSession(prog *isa.Program, out io.Writer) (*session, error) {
 		return nil, err
 	}
 	return &session{
-		prog:   prog,
-		m:      m,
-		d:      debug.New(m),
-		an:     pin.Analyze(prog),
-		out:    out,
-		budget: 1 << 30,
+		prog:        prog,
+		m:           m,
+		d:           debug.New(m),
+		an:          pin.Analyze(prog),
+		out:         out,
+		budget:      1 << 30,
+		checkpoints: make(map[string]*vm.Machine),
 	}, nil
 }
 
@@ -102,6 +109,9 @@ func (s *session) exec(line string) bool {
   pc [addr]                   show or rewrite the program counter
   letgo                       repair the current signal stop by hand:
                               advance pc past the faulting instruction
+  checkpoint [name]           snapshot the machine (copy-on-write fork)
+  restore <name>              rewind the machine to a checkpoint
+  info checkpoints            list checkpoints
   quit
 `)
 	case "break", "b":
@@ -135,9 +145,46 @@ func (s *session) exec(line string) bool {
 		}
 		s.d.ClearBreakpoint(addr)
 	case "info":
+		if len(args) > 0 && strings.HasPrefix(args[0], "check") {
+			names := make([]string, 0, len(s.checkpoints))
+			for name := range s.checkpoints {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				ck := s.checkpoints[name]
+				s.printf("checkpoint %s: pc=0x%x retired=%d\n", name, ck.PC, ck.Retired)
+			}
+			return false
+		}
 		for _, bp := range s.d.Breakpoints() {
 			s.printf("breakpoint 0x%x ignore=%d hits=%d\n", bp.Addr, bp.Ignore, bp.Hits)
 		}
+	case "checkpoint", "ck":
+		name := fmt.Sprintf("ck%d", s.nextCkpt)
+		if len(args) > 0 {
+			name = args[0]
+		} else {
+			s.nextCkpt++
+		}
+		s.checkpoints[name] = s.m.Fork()
+		s.printf("checkpoint %s: pc=0x%x retired=%d\n", name, s.m.PC, s.m.Retired)
+	case "restore":
+		if len(args) < 1 {
+			s.printf("restore wants a checkpoint name (info checkpoints lists them)\n")
+			return false
+		}
+		ck, ok := s.checkpoints[args[0]]
+		if !ok {
+			s.printf("no checkpoint %q\n", args[0])
+			return false
+		}
+		// Fork the stored snapshot so it survives this restore untouched,
+		// and repoint the debugger (breakpoints and dispositions persist).
+		s.m = ck.Fork()
+		s.d.M = s.m
+		s.lastStop = nil
+		s.printf("restored %s: pc=0x%x retired=%d\n", args[0], s.m.PC, s.m.Retired)
 	case "handle":
 		if len(args) != 2 {
 			s.printf("usage: handle <SIGSEGV|SIGBUS|SIGABRT|SIGFPE> <stop|nostop>\n")

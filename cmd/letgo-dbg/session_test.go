@@ -142,3 +142,58 @@ func TestHelpListsCommands(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckpointRestoreSession(t *testing.T) {
+	s, out := newTestSession(t)
+	run(t, s, out, "break main", "run", "step 5")
+	retiredAt := s.m.Retired
+	pcAt := s.m.PC
+	got := run(t, s, out, "checkpoint mid")
+	if !strings.Contains(got, "checkpoint mid: pc=0x") {
+		t.Fatalf("output: %s", got)
+	}
+	run(t, s, out, "step 10")
+	if s.m.Retired == retiredAt {
+		t.Fatal("stepping did not advance the machine")
+	}
+	divergedX := s.m.X
+
+	got = run(t, s, out, "restore mid")
+	if !strings.Contains(got, "restored mid") {
+		t.Fatalf("output: %s", got)
+	}
+	if s.m.Retired != retiredAt || s.m.PC != pcAt {
+		t.Fatalf("restore landed at (pc=0x%x, retired=%d), want (0x%x, %d)",
+			s.m.PC, s.m.Retired, pcAt, retiredAt)
+	}
+	// Replaying the same steps reproduces the diverged state exactly: the
+	// checkpoint is a true snapshot, not a shared mutable reference.
+	run(t, s, out, "step 10")
+	if s.m.X != divergedX {
+		t.Fatal("replay after restore diverged from the original execution")
+	}
+
+	// A checkpoint survives being restored and can be restored again.
+	got = run(t, s, out, "restore mid", "info checkpoints")
+	if !strings.Contains(got, "restored mid") || !strings.Contains(got, "checkpoint mid:") {
+		t.Fatalf("output: %s", got)
+	}
+	if s.m.Retired != retiredAt {
+		t.Fatalf("second restore at retired=%d, want %d", s.m.Retired, retiredAt)
+	}
+
+	// Breakpoints persist across restore (the debugger is repointed, not
+	// rebuilt), and unknown names are reported.
+	got = run(t, s, out, "info break", "restore nope")
+	if !strings.Contains(got, "breakpoint 0x") || !strings.Contains(got, `no checkpoint "nope"`) {
+		t.Fatalf("output: %s", got)
+	}
+}
+
+func TestCheckpointAutoNames(t *testing.T) {
+	s, out := newTestSession(t)
+	got := run(t, s, out, "checkpoint", "checkpoint", "info checkpoints")
+	if !strings.Contains(got, "checkpoint ck0:") || !strings.Contains(got, "checkpoint ck1:") {
+		t.Fatalf("output: %s", got)
+	}
+}

@@ -28,6 +28,10 @@ import (
 // the tables printed on stdout are byte-identical without the flags.
 var telem *obs.Sinks
 
+// engineSel is the -engine flag value, applied to every campaign. Both
+// engines produce identical tables; fork is simply faster.
+var engineSel inject.Engine
+
 func main() {
 	appSel := flag.String("apps", "iterative", "comma-separated app names, 'iterative', 'all', 'hpl' or 'extensions'")
 	n := flag.Int("n", 1000, "injections per app per mode")
@@ -35,6 +39,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run both LetGo-B and LetGo-E and print the four metrics (Figure 5)")
 	seed := flag.Uint64("seed", 2017, "campaign seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	engineFlag := flag.String("engine", "fork", "execution engine: fork (COW fork-replay) or rerun (re-execute from PC 0); results are identical")
 	formatFlag := flag.String("format", "text", "output format: text, markdown, csv or json")
 	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
 	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
@@ -43,6 +48,10 @@ func main() {
 
 	format, err := report.ParseFormat(*formatFlag)
 	if err != nil {
+		fatal(err)
+	}
+
+	if engineSel, err = inject.ParseEngine(*engineFlag); err != nil {
 		fatal(err)
 	}
 
@@ -162,6 +171,7 @@ func runCompare(sel []*apps.App, n int, seed uint64, workers int) {
 }
 
 func mustRun(c *inject.Campaign) *inject.Result {
+	c.Engine = engineSel
 	if telem.Enabled() {
 		c.Obs = telem.Hub
 		c.Observer = inject.NewObsObserver(c.App.Name, c.N, telem.Hub, telem.Progress)

@@ -248,3 +248,24 @@ func (d *Debugger) Run(maxInstrs uint64) *Stop {
 	d.hasResume = false
 	return d.Continue(maxInstrs)
 }
+
+// RunToDynamic executes until the machine's absolute retired-instruction
+// count reaches target, ignoring breakpoints. A nil return means the
+// machine is positioned exactly at target retirements with the next
+// instruction unexecuted; any earlier stop (halt, signal per the
+// disposition table) is returned as-is.
+//
+// This is the fork-replay engine's positioning primitive: replaying a
+// fault-free prefix from a waypoint does not need breakpoint-instance
+// counting, only "run until the N-th dynamic instruction".
+func (d *Debugger) RunToDynamic(target uint64) *Stop {
+	for d.M.Retired < target {
+		if d.M.Halted {
+			return &Stop{Reason: StopHalt}
+		}
+		if stop := d.StepInstr(); stop != nil {
+			return stop
+		}
+	}
+	return nil
+}

@@ -250,3 +250,44 @@ func TestContinueAfterSignalStopWithBreakpointSet(t *testing.T) {
 		t.Fatalf("stop = %+v, want halt", stop)
 	}
 }
+
+func TestRunToDynamicPositionsExactly(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if stop := d.RunToDynamic(6); stop != nil {
+		t.Fatalf("unexpected stop: %+v", stop)
+	}
+	if d.M.Retired != 6 {
+		t.Fatalf("retired = %d, want 6", d.M.Retired)
+	}
+	// Equivalence with breakpoint-instance counting: a fresh machine with a
+	// breakpoint ignoring the first hit lands on the same (pc, retired).
+	ref := New(machine(t, loopSrc))
+	bpAddr := isa.CodeBase + 3*isa.InstrBytes // the addi, 2nd dynamic instance
+	if _, err := ref.SetBreakpoint(bpAddr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if stop := ref.Run(1 << 16); stop.Reason != StopBreakpoint {
+		t.Fatalf("reference stop = %+v", stop)
+	}
+	if ref.M.Retired != d.M.Retired || ref.M.PC != d.M.PC {
+		t.Fatalf("RunToDynamic at (pc=%#x, retired=%d), breakpoint at (pc=%#x, retired=%d)",
+			d.M.PC, d.M.Retired, ref.M.PC, ref.M.Retired)
+	}
+	// Running past the end stops at halt.
+	if stop := d.RunToDynamic(1 << 16); stop == nil || stop.Reason != StopHalt {
+		t.Fatalf("expected halt stop, got %+v", stop)
+	}
+}
+
+func TestRunToDynamicIgnoresBreakpoints(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if _, err := d.SetBreakpoint(isa.CodeBase, 0); err != nil {
+		t.Fatal(err)
+	}
+	if stop := d.RunToDynamic(3); stop != nil {
+		t.Fatalf("RunToDynamic honored a breakpoint: %+v", stop)
+	}
+	if d.M.Retired != 3 {
+		t.Fatalf("retired = %d, want 3", d.M.Retired)
+	}
+}

@@ -1,0 +1,190 @@
+// Package engine is the fork-replay execution substrate for injection
+// campaigns: it runs the golden execution of a program ONCE, taking
+// copy-on-write waypoint snapshots every K retired instructions, and then
+// serves cheap machine forks positioned anywhere in the execution by
+// forking the nearest waypoint and replaying only the delta.
+//
+// This turns an N-injection campaign from O(N x prefix) re-execution work
+// (every run re-runs the program from PC 0 up to its injection point)
+// into O(golden + N x K/2): the golden prefix is executed once and shared
+// by every worker through the COW page layers of internal/mem.
+//
+// Determinism contract: the simulated machine is fully deterministic, a
+// fork is bit-identical to its parent, and a replayed prefix is fault-
+// free, so a machine positioned at dynamic instruction d by ForkAt +
+// replay is architecturally indistinguishable from one that executed the
+// whole prefix. Campaign outcomes are therefore byte-identical between
+// the fork and rerun engines (enforced by inject's equivalence tests).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// DefaultWaypointEvery is the default waypoint spacing K in retired
+// instructions. See docs/ENGINE.md for how K trades replay work (expected
+// K/2 instructions per positioning) against waypoint memory.
+const DefaultWaypointEvery = 4096
+
+// maxWaypoints bounds the waypoint count: when a recording would exceed
+// it, the spacing doubles and every other waypoint is dropped (the
+// classic adaptive-checkpointing trick), so unexpectedly long golden runs
+// cost memory logarithmically, not linearly.
+const maxWaypoints = 128
+
+// waypoint is one frozen machine at a known retirement count. Its machine
+// is never stepped or written after capture, which makes concurrent Fork
+// calls on it safe.
+type waypoint struct {
+	retired uint64
+	m       *vm.Machine
+}
+
+// Golden is the recorded golden execution of one program: the final
+// machine, the per-static-instruction execution profile, and the waypoint
+// ladder. It is immutable after Record and safe to share across campaign
+// workers.
+type Golden struct {
+	Prog *isa.Program
+	// Final is the halted golden machine (acceptance checks and golden
+	// output are read from it). Read-only.
+	Final *vm.Machine
+	// Retired is the golden dynamic instruction count.
+	Retired uint64
+	// Every is the effective waypoint spacing after adaptive thinning.
+	Every uint64
+
+	counts    []uint64
+	waypoints []waypoint
+}
+
+// Record executes prog to completion on a fresh machine, counting every
+// retired instruction (the profiling phase) and forking a waypoint every
+// `every` retired instructions (0 selects DefaultWaypointEvery). It fails
+// if the fault-free program traps or does not halt within budget.
+func Record(prog *isa.Program, cfg vm.Config, every, budget uint64) (*Golden, error) {
+	if every == 0 {
+		every = DefaultWaypointEvery
+	}
+	m, err := vm.New(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Golden{
+		Prog:   prog,
+		Every:  every,
+		counts: make([]uint64, len(prog.Instrs)),
+	}
+	g.waypoints = append(g.waypoints, waypoint{retired: 0, m: m.Fork()})
+	for !m.Halted {
+		if m.Retired >= budget {
+			return nil, fmt.Errorf("engine: golden run exceeded budget of %d instructions", budget)
+		}
+		pc := m.PC
+		if err := m.Step(); err != nil {
+			return nil, fmt.Errorf("engine: fault-free golden run trapped: %w", err)
+		}
+		g.counts[(pc-isa.CodeBase)/isa.InstrBytes]++
+		if !m.Halted && m.Retired%g.Every == 0 {
+			g.waypoints = append(g.waypoints, waypoint{retired: m.Retired, m: m.Fork()})
+			if len(g.waypoints) > maxWaypoints {
+				g.thin()
+			}
+		}
+	}
+	g.Final = m
+	g.Retired = m.Retired
+	return g, nil
+}
+
+// thin doubles the waypoint spacing and drops the waypoints that no
+// longer fall on it (the initial waypoint at 0 is always kept).
+func (g *Golden) thin() {
+	g.Every *= 2
+	kept := g.waypoints[:1]
+	for _, w := range g.waypoints[1:] {
+		if w.retired%g.Every == 0 {
+			kept = append(kept, w)
+		}
+	}
+	g.waypoints = kept
+}
+
+// Profile returns the pin.Profile observed during recording — identical
+// to what pin's ProfileRun computes, without a second execution.
+func (g *Golden) Profile() *pin.Profile {
+	return &pin.Profile{Total: g.Retired, Counts: append([]uint64(nil), g.counts...)}
+}
+
+// Waypoints returns the number of recorded waypoints.
+func (g *Golden) Waypoints() int { return len(g.waypoints) }
+
+// nearest returns the index of the last waypoint at or before retired.
+func (g *Golden) nearest(retired uint64) int {
+	return sort.Search(len(g.waypoints), func(i int) bool {
+		return g.waypoints[i].retired > retired
+	}) - 1
+}
+
+// NearestRetired returns the retirement count of the closest waypoint at
+// or before retired — what a scheduler compares against an already-
+// positioned replay machine before deciding to fork.
+func (g *Golden) NearestRetired(retired uint64) uint64 {
+	return g.waypoints[g.nearest(retired)].retired
+}
+
+// ForkAt forks the nearest waypoint at or before retired and returns the
+// fresh machine plus the waypoint's retirement count (the caller replays
+// the remaining retired-wp delta, e.g. with debug.RunToDynamic). Safe for
+// concurrent use from multiple workers.
+func (g *Golden) ForkAt(retired uint64) (*vm.Machine, uint64) {
+	w := g.waypoints[g.nearest(retired)]
+	return w.m.Fork(), w.retired
+}
+
+// PagesCopied reports the COW page copies charged to the golden recording
+// itself (the recording machine faulting pages out of its own waypoints).
+func (g *Golden) PagesCopied() uint64 { return g.Final.Mem.CopiedPages() }
+
+// ResolveWhens maps injection sites — (static address, dynamic instance)
+// pairs — to the absolute retired-instruction count at which each site's
+// instruction is about to execute, by replaying the golden run once from
+// the initial waypoint and counting per-PC occurrences. The returned
+// slice is index-aligned with sites.
+//
+// This replaces per-run breakpoint-instance counting: the temporal
+// position of every planned injection is computed in one shared pass.
+func (g *Golden) ResolveWhens(sites []pin.Site) ([]uint64, error) {
+	whens := make([]uint64, len(sites))
+	type key struct{ instr, instance uint64 }
+	want := make(map[key][]int, len(sites))
+	for i, s := range sites {
+		k := key{(s.Addr - isa.CodeBase) / isa.InstrBytes, s.Instance}
+		want[k] = append(want[k], i)
+	}
+	m, _ := g.ForkAt(0)
+	occ := make([]uint64, len(g.counts))
+	remaining := len(want)
+	for !m.Halted && remaining > 0 {
+		idx := (m.PC - isa.CodeBase) / isa.InstrBytes
+		occ[idx]++
+		if idxs, ok := want[key{idx, occ[idx]}]; ok {
+			for _, j := range idxs {
+				whens[j] = m.Retired
+			}
+			remaining--
+		}
+		if err := m.Step(); err != nil {
+			return nil, fmt.Errorf("engine: resolving injection sites: %w", err)
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("engine: %d injection sites never reached in golden replay", remaining)
+	}
+	return whens, nil
+}

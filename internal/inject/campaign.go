@@ -3,11 +3,14 @@ package inject
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
+	"github.com/letgo-hpc/letgo/internal/debug"
+	"github.com/letgo-hpc/letgo/internal/engine"
 	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
@@ -15,6 +18,45 @@ import (
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
+
+// Engine selects the execution substrate for the campaign's injected
+// runs. Both engines produce byte-identical results for a fixed seed; the
+// fork engine is simply faster, because it stops re-running the program
+// from PC 0 for every injection.
+type Engine uint8
+
+// Engines. The zero value is the fork-replay engine.
+const (
+	// EngineFork records the golden execution once with COW waypoint
+	// snapshots and positions every injected run by forking the nearest
+	// waypoint and replaying only the delta — O(golden + N*K/2) prefix
+	// work instead of O(N * prefix).
+	EngineFork Engine = iota
+	// EngineRerun is the classic substrate: every injection re-executes
+	// the program from PC 0 to its site with a breakpoint ignore count.
+	EngineRerun
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineFork:
+		return "fork"
+	case EngineRerun:
+		return "rerun"
+	}
+	return fmt.Sprintf("engine?%d", e)
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fork", "":
+		return EngineFork, nil
+	case "rerun":
+		return EngineRerun, nil
+	}
+	return 0, fmt.Errorf("inject: unknown engine %q (want fork or rerun)", s)
+}
 
 // Campaign phases, in execution order, as reported to an Observer.
 const (
@@ -78,6 +120,31 @@ type Campaign struct {
 	// layers of every injected run (trap counts by signal, heuristic
 	// applications, retired instructions). Nil disables instrumentation.
 	Obs *obs.Hub
+	// Engine selects the execution substrate; the zero value is the
+	// fork-replay engine (EngineFork).
+	Engine Engine
+	// WaypointEvery overrides the fork engine's waypoint spacing in
+	// retired instructions; 0 means engine.DefaultWaypointEvery.
+	WaypointEvery uint64
+}
+
+// EngineStats describes the execution-substrate work of one campaign.
+// It is diagnostic only: report tables and outcome classifications never
+// depend on it, and it is all zeros for the rerun engine (which has no
+// waypoints, forks nothing, and saves nothing).
+type EngineStats struct {
+	Engine    string // "fork" or "rerun"
+	Waypoints int    // waypoints recorded during the golden run
+	Forks     uint64 // machine forks (waypoints + positioning + per-run)
+	// PagesCopied counts COW page faults across the golden recording and
+	// every injected run — the engine's total memory-copy cost.
+	PagesCopied uint64
+	// InstrsReplayed counts clean prefix instructions the schedulers'
+	// replay machines actually re-executed to position runs.
+	InstrsReplayed uint64
+	// InstrsSaved counts prefix instructions the rerun engine would have
+	// executed but the fork engine did not.
+	InstrsSaved uint64
 }
 
 // Result summarizes a campaign.
@@ -104,6 +171,9 @@ type Result struct {
 	// the liveness analysis with Masked/SDC rates (Section 6's
 	// "zero-filling is usually benign" argument, quantified).
 	LiveDest, DeadDest outcome.Counts
+	// EngineStats reports the substrate's work (forks, pages copied,
+	// instructions saved). Diagnostic only — excluded from report tables.
+	EngineStats EngineStats
 }
 
 // MaskedFrac returns the fraction of runs in c that were architecturally
@@ -144,6 +214,14 @@ func (c *Campaign) Run() (*Result, error) {
 		}
 		c.Obs.Reg.Help("letgo_vm_retired_instructions_total", "Instructions retired across injected runs.")
 		c.Obs.Reg.Counter("letgo_vm_retired_instructions_total")
+		c.Obs.Reg.Help("letgo_engine_forks_total", "Machine forks taken by the execution engine (waypoints, positioning, per-run).")
+		c.Obs.Reg.Counter("letgo_engine_forks_total")
+		c.Obs.Reg.Help("letgo_engine_pages_copied_total", "COW pages copied across the golden recording and all injected runs.")
+		c.Obs.Reg.Counter("letgo_engine_pages_copied_total")
+		c.Obs.Reg.Help("letgo_engine_instructions_replayed_total", "Clean prefix instructions re-executed to position injected runs.")
+		c.Obs.Reg.Counter("letgo_engine_instructions_replayed_total")
+		c.Obs.Reg.Help("letgo_engine_instructions_saved_total", "Prefix instructions the fork engine avoided versus rerun.")
+		c.Obs.Reg.Counter("letgo_engine_instructions_saved_total")
 	}
 
 	c.phase(PhaseCompile)
@@ -153,19 +231,29 @@ func (c *Campaign) Run() (*Result, error) {
 	}
 	an := pin.Analyze(prog)
 
-	// Golden run: acceptance data and output to compare against.
+	// Golden run: acceptance data and output to compare against. The fork
+	// engine records it once with waypoint snapshots; the rerun engine
+	// executes it plainly (and will pay a second execution for profiling).
 	c.phase(PhaseGolden)
-	gm, err := c.App.NewMachine()
-	if err != nil {
-		return nil, err
+	var gold *engine.Golden
+	var gm *vm.Machine
+	const profileBudget = 1 << 32
+	if c.Engine == EngineRerun {
+		if gm, err = c.App.NewMachine(); err != nil {
+			return nil, err
+		}
+		if err := gm.Run(profileBudget); err != nil {
+			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+		}
+	} else {
+		if gold, err = engine.Record(prog, vm.Config{}, c.WaypointEvery, profileBudget); err != nil {
+			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+		}
+		gm = gold.Final
 	}
 	factor := c.BudgetFactor
 	if factor == 0 {
 		factor = 3
-	}
-	const profileBudget = 1 << 32
-	if err := gm.Run(profileBudget); err != nil {
-		return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
 	}
 	goldenOK, err := c.App.Accept(gm)
 	if err != nil {
@@ -180,11 +268,16 @@ func (c *Campaign) Run() (*Result, error) {
 	}
 	budget := uint64(float64(gm.Retired)*factor) + 100_000
 
-	// Profiling phase (Section 5.4).
+	// Profiling phase (Section 5.4). The fork engine observed the profile
+	// while recording; the rerun engine runs the program again to count.
 	c.phase(PhaseProfile)
-	prof, err := an.ProfileRun(vm.Config{}, profileBudget)
-	if err != nil {
-		return nil, err
+	var prof *pin.Profile
+	if c.Engine == EngineRerun {
+		if prof, err = an.ProfileRun(vm.Config{}, profileBudget); err != nil {
+			return nil, err
+		}
+	} else {
+		prof = gold.Profile()
 	}
 
 	// Pre-sample all plans from the root RNG so results do not depend on
@@ -210,41 +303,20 @@ func (c *Campaign) Run() (*Result, error) {
 
 	c.phase(PhaseInject)
 	results := make([]injResult, c.N)
-	errs := make([]error, workers)
-	// failed lets the first erroring worker stop the others early instead
-	// of letting them burn through their remaining injections.
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < c.N; i += workers {
-				if failed.Load() {
-					return
-				}
-				r, err := c.one(prog, an, plans[i], budget, golden)
-				if err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
-				}
-				results[i] = r
-				if c.Observer != nil {
-					c.Observer.Executed(Execution{
-						Index: i, Worker: w, Class: r.class, Signal: r.sig,
-						DestLive: r.destLive,
-						Retired:  r.retired, Latency: r.latency, HasLatency: r.hasLatency,
-					})
-				}
-			}
-		}(w)
+	estats := EngineStats{Engine: c.Engine.String()}
+	if c.Engine == EngineRerun {
+		err = c.runRerun(prog, an, plans, budget, golden, workers, results)
+	} else {
+		err = c.runFork(gold, an, plans, budget, golden, workers, results, &estats)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
+	}
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_engine_forks_total").Add(estats.Forks)
+		c.Obs.Counter("letgo_engine_pages_copied_total").Add(estats.PagesCopied)
+		c.Obs.Counter("letgo_engine_instructions_replayed_total").Add(estats.InstrsReplayed)
+		c.Obs.Counter("letgo_engine_instructions_saved_total").Add(estats.InstrsSaved)
 	}
 
 	res := &Result{
@@ -253,6 +325,7 @@ func (c *Campaign) Run() (*Result, error) {
 		N:             c.N,
 		GoldenRetired: gm.Retired,
 		Signals:       map[vm.Signal]int{},
+		EngineStats:   estats,
 	}
 	for _, r := range results {
 		res.Counts.Add(r.class)
@@ -276,6 +349,156 @@ func (c *Campaign) Run() (*Result, error) {
 	return res, nil
 }
 
+// runRerun executes the campaign's injections on the rerun engine: each
+// worker takes a strided slice of plans and every injection re-executes
+// the whole prefix from PC 0 inside executeHub.
+func (c *Campaign) runRerun(prog *isa.Program, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult) error {
+	errs := make([]error, workers)
+	// failed lets the first erroring worker stop the others early instead
+	// of letting them burn through their remaining injections.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < c.N; i += workers {
+				if failed.Load() {
+					return
+				}
+				r, err := c.one(prog, an, plans[i], budget, golden)
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				c.executed(i, w, r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFork executes the campaign's injections on the fork-replay engine.
+//
+// All planned sites are first resolved to absolute retired-instruction
+// counts in one shared golden replay (ResolveWhens), then sorted by that
+// temporal position and split into contiguous chunks, one per worker.
+// Each worker keeps a single clean replay machine that only ever moves
+// forward: it advances to the next injection's position with RunToDynamic
+// and is re-forked from a waypoint only when a later waypoint leapfrogs
+// it. The injected run itself executes on a COW fork of the positioned
+// replay machine, so the clean prefix is never contaminated and is
+// executed at most once per worker per K-sized gap.
+func (c *Campaign) runFork(gold *engine.Golden, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, estats *EngineStats) error {
+	sites := make([]pin.Site, len(plans))
+	for i, p := range plans {
+		sites[i] = p.Site
+	}
+	whens, err := gold.ResolveWhens(sites)
+	if err != nil {
+		return err
+	}
+	order := make([]int, len(plans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if whens[order[a]] != whens[order[b]] {
+			return whens[order[a]] < whens[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	var forks, pagesCopied, instrsReplayed, instrsSaved atomic.Uint64
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := order[w*len(order)/workers : (w+1)*len(order)/workers]
+			var cur *vm.Machine
+			var curDbg *debug.Debugger
+			for _, i := range chunk {
+				if failed.Load() {
+					return
+				}
+				when := whens[i]
+				// Re-fork only when a waypoint is strictly ahead of the
+				// replay machine; otherwise stepping forward is cheaper.
+				if cur == nil || gold.NearestRetired(when) > cur.Retired {
+					if cur != nil {
+						pagesCopied.Add(cur.Mem.CopiedPages())
+					}
+					cur, _ = gold.ForkAt(when)
+					curDbg = debug.New(cur)
+					forks.Add(1)
+				}
+				replayFrom := cur.Retired
+				if stop := curDbg.RunToDynamic(when); stop != nil {
+					errs[w] = fmt.Errorf("inject: clean replay to dynamic %d stopped: %v", when, stop.Reason)
+					failed.Store(true)
+					return
+				}
+				instrsReplayed.Add(when - replayFrom)
+				instrsSaved.Add(replayFrom)
+				runM := cur.Fork()
+				forks.Add(1)
+				ro, err := executeAt(gold.Prog, an, plans[i], c.Mode, c.Opts, budget, c.Obs, runM)
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				r, pages, err := c.classify(&ro, golden)
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				pagesCopied.Add(pages)
+				results[i] = r
+				c.executed(i, w, r)
+			}
+			if cur != nil {
+				pagesCopied.Add(cur.Mem.CopiedPages())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	estats.Waypoints = gold.Waypoints()
+	estats.Forks = uint64(gold.Waypoints()) + forks.Load()
+	estats.PagesCopied = gold.PagesCopied() + pagesCopied.Load()
+	estats.InstrsReplayed = instrsReplayed.Load()
+	estats.InstrsSaved = instrsSaved.Load()
+	return nil
+}
+
+// executed delivers one classified injection to the observer, if any.
+func (c *Campaign) executed(i, w int, r injResult) {
+	if c.Observer != nil {
+		c.Observer.Executed(Execution{
+			Index: i, Worker: w, Class: r.class, Signal: r.sig,
+			DestLive: r.destLive,
+			Retired:  r.retired, Latency: r.latency, HasLatency: r.hasLatency,
+		})
+	}
+}
+
 // injResult is the classified observation of one injection.
 type injResult struct {
 	class      outcome.Class
@@ -286,12 +509,24 @@ type injResult struct {
 	retired    uint64
 }
 
-// one executes and classifies a single injection.
+// one executes and classifies a single injection on the rerun engine.
 func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (injResult, error) {
 	ro, err := executeHub(prog, an, plan, c.Mode, c.Opts, budget, c.Obs)
 	if err != nil {
 		return injResult{}, err
 	}
+	r, _, err := c.classify(&ro, golden)
+	return r, err
+}
+
+// classify applies the app-level acceptance check and golden comparison
+// to a raw run outcome. It returns the COW page-copy cost of the run's
+// machine and then drops the machine reference from ro, so a finished
+// run's page tables become collectable while the campaign is still
+// executing (campaigns hold every injResult until aggregation, and N
+// machines' worth of dirty pages is the difference between a flat and a
+// linearly growing footprint).
+func (c *Campaign) classify(ro *RunOutcome, golden []float64) (injResult, uint64, error) {
 	rec := outcome.RunRecord{
 		Finished: ro.Finished,
 		Hang:     ro.Hang,
@@ -304,17 +539,19 @@ func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget ui
 	if ro.Finished {
 		pass, err := c.App.Accept(ro.Machine)
 		if err != nil {
-			return injResult{}, err
+			return injResult{}, 0, err
 		}
 		rec.CheckPassed = pass
 		if pass {
 			out, err := c.App.Output(ro.Machine)
 			if err != nil {
-				return injResult{}, err
+				return injResult{}, 0, err
 			}
 			rec.MatchesGolden = c.App.MatchesGolden(out, golden)
 		}
 	}
+	pages := ro.Machine.Mem.CopiedPages()
+	ro.Machine = nil
 	return injResult{
 		class:      outcome.Classify(rec),
 		sig:        sig,
@@ -322,5 +559,5 @@ func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget ui
 		latency:    ro.CrashLatency,
 		hasLatency: ro.HasLatency,
 		retired:    ro.Retired,
-	}, nil
+	}, pages, nil
 }

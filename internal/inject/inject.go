@@ -160,34 +160,38 @@ func Execute(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, budget u
 	return executeHub(prog, an, plan, mode, nil, budget, nil)
 }
 
-// executeHub is Execute with an optional LetGo option override (used by
-// campaigns running heuristic ablations) and optional observability sinks
-// threaded into the machine and the LetGo runner.
-func executeHub(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64, hub *obs.Hub) (RunOutcome, error) {
-	m, err := vm.New(prog, vm.Config{})
-	if err != nil {
-		return RunOutcome{}, err
-	}
+// attachSupervision wires the requested supervision mode onto m: a bare
+// debugger for NoLetGo, or a LetGo runner (whose debugger owns the
+// Table-1 dispositions) otherwise. Optional observability sinks are
+// threaded into the machine's trap hook and the runner.
+func attachSupervision(m *vm.Machine, an *pin.Analysis, mode Mode, override *core.Options, hub *obs.Hub) (*debug.Debugger, *core.Runner) {
 	if hub != nil {
 		m.OnTrap = func(t *vm.Trap) {
 			hub.Counter("letgo_vm_traps_total", "signal", t.Signal.String()).Inc()
 		}
 	}
-
-	var runner *core.Runner
-	var dbg *debug.Debugger
 	if mode == NoLetGo {
-		dbg = debug.New(m)
-	} else {
-		opts := mode.CoreOptions()
-		if override != nil {
-			opts = *override
-		}
-		opts.Obs = hub
-		runner = core.Attach(m, an, opts)
-		dbg = runner.Dbg
+		return debug.New(m), nil
 	}
+	opts := mode.CoreOptions()
+	if override != nil {
+		opts = *override
+	}
+	opts.Obs = hub
+	runner := core.Attach(m, an, opts)
+	return runner.Dbg, runner
+}
 
+// executeHub is Execute with an optional LetGo option override (used by
+// campaigns running heuristic ablations) and optional observability sinks
+// threaded into the machine and the LetGo runner. It is the rerun path:
+// the whole prefix up to the injection site is re-executed from PC 0.
+func executeHub(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64, hub *obs.Hub) (RunOutcome, error) {
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	dbg, runner := attachSupervision(m, an, mode, override, hub)
 	if _, err := dbg.SetBreakpoint(plan.Site.Addr, plan.Site.Instance-1); err != nil {
 		return RunOutcome{}, err
 	}
@@ -195,13 +199,33 @@ func executeHub(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, overr
 	if stop.Reason != debug.StopBreakpoint {
 		return RunOutcome{}, fmt.Errorf("inject: never reached site %+v (stop %v)", plan.Site, stop.Reason)
 	}
+	dbg.ClearBreakpoint(plan.Site.Addr)
+	return corruptAndContinue(prog, an, plan, dbg, runner, budget, hub)
+}
+
+// executeAt is the fork-replay counterpart of executeHub: it runs one
+// injection on a machine that a scheduler has already positioned at the
+// injection site (PC at the site's address, about to execute it).
+func executeAt(prog *isa.Program, an *pin.Analysis, plan Plan, mode Mode, override *core.Options, budget uint64, hub *obs.Hub, m *vm.Machine) (RunOutcome, error) {
+	if m.PC != plan.Site.Addr {
+		return RunOutcome{}, fmt.Errorf("inject: fork positioned at pc %#x, want site %#x", m.PC, plan.Site.Addr)
+	}
+	dbg, runner := attachSupervision(m, an, mode, override, hub)
+	return corruptAndContinue(prog, an, plan, dbg, runner, budget, hub)
+}
+
+// corruptAndContinue executes the target instruction, flips the planned
+// bits in its destination register, and continues the run to an end state
+// under the attached supervision. On entry the machine must be stopped
+// exactly at the injection site.
+func corruptAndContinue(prog *isa.Program, an *pin.Analysis, plan Plan, dbg *debug.Debugger, runner *core.Runner, budget uint64, hub *obs.Hub) (RunOutcome, error) {
+	m := dbg.M
 	// Execute the target instruction, then corrupt its destination.
 	if s := dbg.StepInstr(); s != nil {
 		return RunOutcome{}, fmt.Errorf("inject: target instruction itself stopped: %v", s.Reason)
 	}
 	in, _ := prog.InstrAt(plan.Site.Addr)
 	flipDest(dbg, in, plan.Mask)
-	dbg.ClearBreakpoint(plan.Site.Addr)
 	injectedAt := m.Retired
 
 	out := RunOutcome{Plan: plan, Machine: m}

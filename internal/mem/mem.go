@@ -64,16 +64,78 @@ type Segment struct {
 // End returns the first address past the segment.
 func (s Segment) End() uint64 { return s.Base + s.Size }
 
+// frozen is one immutable copy-on-write layer: a set of pages sealed at
+// fork time plus a link to the layer it shadowed. Frozen pages are shared
+// by every Memory forked from the same history and must never be written.
+type frozen struct {
+	pages  map[uint64][]byte
+	parent *frozen
+	depth  int // chain length including this layer
+}
+
+// flattenDepth bounds the frozen-chain length a page lookup may walk.
+// When a fork would push the chain past it, the chain is consolidated
+// into a single layer (moving page references, never copying bytes).
+const flattenDepth = 32
+
+// flatten merges the chain rooted at f into one layer, newest page wins.
+func (f *frozen) flatten() *frozen {
+	var chain []*frozen
+	for g := f; g != nil; g = g.parent {
+		chain = append(chain, g)
+	}
+	merged := make(map[uint64][]byte)
+	for i := len(chain) - 1; i >= 0; i-- {
+		for idx, p := range chain[i].pages {
+			merged[idx] = p
+		}
+	}
+	return &frozen{pages: merged, depth: 1}
+}
+
 // Memory is a sparse paged data memory. The zero value is unusable; use New.
+//
+// Memories fork copy-on-write: Fork seals the current pages into an
+// immutable base layer shared by parent and child, and each side copies a
+// page only on its first write to it. A Memory whose private page set is
+// empty (e.g. one just produced by Fork) can be forked concurrently from
+// multiple goroutines; any other mutation requires external serialization.
 type Memory struct {
-	pages    map[uint64][]byte // page index -> PageSize bytes
+	pages    map[uint64][]byte // private, writable pages: page index -> bytes
+	base     *frozen           // immutable fork history; nil for a root memory
 	segments []Segment
+	copied   uint64 // pages copied out of the base by COW faults
 }
 
 // New returns an empty memory with no mapped segments.
 func New() *Memory {
 	return &Memory{pages: make(map[uint64][]byte)}
 }
+
+// Fork returns an isolated copy-on-write view of m. Both m and the fork
+// see the current contents; subsequent writes on either side are private.
+// Cost is O(segments): the current private pages are sealed into a shared
+// immutable layer and no page bytes are copied until first write.
+func (m *Memory) Fork() *Memory {
+	if len(m.pages) > 0 {
+		depth := 1
+		if m.base != nil {
+			depth = m.base.depth + 1
+		}
+		m.base = &frozen{pages: m.pages, parent: m.base, depth: depth}
+		m.pages = make(map[uint64][]byte)
+		if m.base.depth >= flattenDepth {
+			m.base = m.base.flatten()
+		}
+	}
+	c := &Memory{pages: make(map[uint64][]byte), base: m.base}
+	c.segments = append(c.segments, m.segments...)
+	return c
+}
+
+// CopiedPages returns how many pages this memory has copied out of its
+// frozen base on first write — the engine's "pages copied" COW cost.
+func (m *Memory) CopiedPages() uint64 { return m.copied }
 
 // Map adds a segment. The range is rounded outward to page boundaries for
 // mapping purposes but bounds-checked at byte granularity. Overlapping
@@ -140,23 +202,56 @@ func (m *Memory) check(addr, size uint64, write bool) error {
 	return nil
 }
 
-// page returns the backing page for addr, allocating it on first touch.
-func (m *Memory) page(addr uint64) []byte {
+// readPage returns the current backing page for addr without allocating:
+// the private copy if one exists, else the newest frozen version, else nil
+// (an untouched, all-zero page).
+func (m *Memory) readPage(addr uint64) []byte {
 	idx := addr / PageSize
-	p, ok := m.pages[idx]
-	if !ok {
-		p = make([]byte, PageSize)
-		m.pages[idx] = p
+	if p, ok := m.pages[idx]; ok {
+		return p
 	}
+	for f := m.base; f != nil; f = f.parent {
+		if p, ok := f.pages[idx]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// writablePage returns a private, writable page for addr, copying it out
+// of the frozen base on first write (the COW fault).
+func (m *Memory) writablePage(addr uint64) []byte {
+	idx := addr / PageSize
+	if p, ok := m.pages[idx]; ok {
+		return p
+	}
+	p := make([]byte, PageSize)
+	for f := m.base; f != nil; f = f.parent {
+		if fp, ok := f.pages[idx]; ok {
+			copy(p, fp)
+			m.copied++
+			break
+		}
+	}
+	m.pages[idx] = p
 	return p
 }
 
 // rawRead copies mapped bytes without access checks (caller has checked).
 func (m *Memory) rawRead(addr uint64, dst []byte) {
 	for len(dst) > 0 {
-		p := m.page(addr)
 		off := addr % PageSize
-		n := copy(dst, p[off:])
+		n := int(PageSize - off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := m.readPage(addr); p != nil {
+			copy(dst[:n], p[off:])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
 		dst = dst[n:]
 		addr += uint64(n)
 	}
@@ -164,7 +259,7 @@ func (m *Memory) rawRead(addr uint64, dst []byte) {
 
 func (m *Memory) rawWrite(addr uint64, src []byte) {
 	for len(src) > 0 {
-		p := m.page(addr)
+		p := m.writablePage(addr)
 		off := addr % PageSize
 		n := copy(p[off:], src)
 		src = src[n:]
@@ -224,18 +319,26 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	return nil
 }
 
-// Snapshot returns a deep copy of the memory (pages and segment table),
-// used for golden-run comparison and checkpoint emulation in tests.
-func (m *Memory) Snapshot() *Memory {
-	c := New()
-	c.segments = append(c.segments, m.segments...)
-	for idx, p := range m.pages {
-		cp := make([]byte, PageSize)
-		copy(cp, p)
-		c.pages[idx] = cp
-	}
-	return c
-}
+// Snapshot returns an isolated copy of the memory (pages and segment
+// table). Historically a deep O(pages) copy; it is now a compatibility
+// shim over the copy-on-write Fork, with identical observable semantics.
+func (m *Memory) Snapshot() *Memory { return m.Fork() }
 
-// TouchedPages returns the number of pages that have been allocated.
-func (m *Memory) TouchedPages() int { return len(m.pages) }
+// TouchedPages returns the number of distinct pages materialized for this
+// memory, counting private pages and every page reachable through the
+// frozen fork history.
+func (m *Memory) TouchedPages() int {
+	if m.base == nil {
+		return len(m.pages)
+	}
+	seen := make(map[uint64]struct{}, len(m.pages))
+	for idx := range m.pages {
+		seen[idx] = struct{}{}
+	}
+	for f := m.base; f != nil; f = f.parent {
+		for idx := range f.pages {
+			seen[idx] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -199,3 +199,151 @@ func TestMappedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestForkIsolationBothDirections(t *testing.T) {
+	m := newMapped(t)
+	if err := m.Write8(0x10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	// The fork sees pre-fork state.
+	if v, err := f.Read8(0x10000); err != nil || v != 1 {
+		t.Fatalf("fork read = %d, %v; want 1", v, err)
+	}
+	// Parent writes are invisible to the fork, and vice versa.
+	if err := m.Write8(0x10000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write8(0x10008, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Read8(0x10000); v != 1 {
+		t.Fatalf("fork sees parent write: %d", v)
+	}
+	if v, _ := m.Read8(0x10008); v != 0 {
+		t.Fatalf("parent sees fork write: %d", v)
+	}
+	if v, _ := f.Read8(0x10008); v != 3 {
+		t.Fatalf("fork lost its own write: %d", v)
+	}
+}
+
+func TestForkPartialPageWritePreservesRest(t *testing.T) {
+	m := newMapped(t)
+	data := make([]byte, PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := m.WriteBytes(0x10000, data); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	// One 8-byte write into the fork must COW the whole page, keeping
+	// every other byte of the frozen original.
+	if err := f.Write8(0x10100, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadBytes(0x10000, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := data[i]
+		if i >= 0x100 && i < 0x108 {
+			want = 0
+		}
+		if got[i] != want {
+			t.Fatalf("fork byte %d = %d, want %d", i, got[i], want)
+		}
+	}
+	if f.CopiedPages() != 1 {
+		t.Fatalf("CopiedPages = %d, want 1", f.CopiedPages())
+	}
+}
+
+func TestForkChainNewestWins(t *testing.T) {
+	m := newMapped(t)
+	var forks []*Memory
+	for i := uint64(1); i <= 2*flattenDepth; i++ {
+		if err := m.Write8(0x10000, i); err != nil {
+			t.Fatal(err)
+		}
+		forks = append(forks, m.Fork())
+	}
+	// Every fork pinned the value at its own fork time, across flattening.
+	for i, f := range forks {
+		if v, _ := f.Read8(0x10000); v != uint64(i+1) {
+			t.Fatalf("fork %d reads %d, want %d", i, v, i+1)
+		}
+	}
+	if v, _ := m.Read8(0x10000); v != 2*flattenDepth {
+		t.Fatalf("parent reads %d", v)
+	}
+}
+
+func TestForkOfCleanForkDoesNotDeepen(t *testing.T) {
+	m := newMapped(t)
+	if err := m.Write8(0x10000, 7); err != nil {
+		t.Fatal(err)
+	}
+	wp := m.Fork()
+	d := wp.base.depth
+	// Forking a memory with no private pages must not add layers; this is
+	// what makes concurrent forks of a frozen waypoint safe.
+	r1, r2 := wp.Fork(), wp.Fork()
+	if wp.base.depth != d || r1.base.depth != d || r2.base.depth != d {
+		t.Fatalf("clean fork deepened chain: %d -> %d", d, wp.base.depth)
+	}
+	if v, _ := r1.Read8(0x10000); v != 7 {
+		t.Fatalf("r1 = %d", v)
+	}
+}
+
+func TestForkZeroFillAndTouchedPages(t *testing.T) {
+	m := newMapped(t)
+	if err := m.Write8(0x10000, 5); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	// Untouched pages read zero through the chain without materializing.
+	if v, err := f.Read8(0x14000); err != nil || v != 0 {
+		t.Fatalf("zero fill through fork = %d, %v", v, err)
+	}
+	if got := f.TouchedPages(); got != 1 {
+		t.Fatalf("TouchedPages = %d, want 1", got)
+	}
+	if f.CopiedPages() != 0 {
+		t.Fatalf("reads must not copy pages: %d", f.CopiedPages())
+	}
+}
+
+func TestForkKeepsSegmentTableIndependent(t *testing.T) {
+	m := newMapped(t)
+	f := m.Fork()
+	if err := f.Map("heap", 0x40000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped(0x40000, 8) {
+		t.Fatal("parent inherited fork's segment")
+	}
+	if !f.Mapped(0x40000, 8) {
+		t.Fatal("fork lost its segment")
+	}
+}
+
+func TestSnapshotIsForkShim(t *testing.T) {
+	m := newMapped(t)
+	if err := m.Write8(0x10000, 42); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.base == nil || s.CopiedPages() != 0 {
+		t.Fatal("Snapshot should be a zero-copy COW fork")
+	}
+	if err := m.Write8(0x10000, 43); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read8(0x10000); v != 42 {
+		t.Fatalf("snapshot = %d, want 42", v)
+	}
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// forkProg is a small loop that writes to a global every iteration, so
+// machines diverge observably when stepped.
+const forkProg = `
+.entry main
+.global g 8
+main:
+	li   x1, 0
+	li   x2, 20
+	li   x3, g
+.loop:
+	addi x1, x1, 1
+	st   x1, [x3]
+	bne  x1, x2, .loop
+	halt
+`
+
+func forkMachine(t *testing.T) *Machine {
+	t.Helper()
+	prog, err := asm.Assemble(forkProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestForkDivergesIndependently(t *testing.T) {
+	m := forkMachine(t)
+	for i := 0; i < 10; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := m.Fork()
+	if f.PC != m.PC || f.Retired != m.Retired || f.X != m.X {
+		t.Fatal("fork did not copy architectural state")
+	}
+	// Run the fork to completion; the parent must be unmoved.
+	pc, retired := m.PC, m.Retired
+	if err := f.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Halted {
+		t.Fatal("fork did not halt")
+	}
+	if m.PC != pc || m.Retired != retired || m.Halted {
+		t.Fatal("running the fork moved the parent")
+	}
+	// And the parent still runs to the same final state.
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.X != f.X || m.Retired != f.Retired {
+		t.Fatalf("parent and fork final states differ: %v vs %v", m.X, f.X)
+	}
+	gm, _ := m.Mem.Read8(0x10000)
+	gf, _ := f.Mem.Read8(0x10000)
+	if gm != gf || gm != 20 {
+		t.Fatalf("global after runs: parent %d fork %d, want 20", gm, gf)
+	}
+}
+
+func TestForkMemoryIsolation(t *testing.T) {
+	m := forkMachine(t)
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	if err := f.Mem.Write8(0x10000, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Mem.Read8(0x10000); v != 20 {
+		t.Fatalf("fork write leaked into parent: %d", v)
+	}
+}
+
+func TestResetRestoresLoadState(t *testing.T) {
+	var out1, out2 bytes.Buffer
+	prog, err := asm.Assemble(`
+.entry main
+.int g 7
+main:
+	li   x1, g
+	ld   x2, [x1]
+	addi x2, x2, 1
+	st   x2, [x1]
+	printi x2
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(prog, Config{Out: &out1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Halted || m.Retired != 0 || m.PC != prog.Entry {
+		t.Fatalf("Reset left state behind: halted=%v retired=%d pc=%#x", m.Halted, m.Retired, m.PC)
+	}
+	if m.X[isa.SP] != isa.StackTop || m.X[isa.BP] != isa.StackTop {
+		t.Fatal("Reset did not restore sp/bp")
+	}
+	// Initialized data is back, so the run repeats identically.
+	m.SetOut(&out2)
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != out1.String() {
+		t.Fatalf("reset run printed %q, first run %q", out2.String(), out1.String())
+	}
+}
+
+func TestCheckpointIsCOWBacked(t *testing.T) {
+	m := forkMachine(t)
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Checkpoint()
+	if s.Mem.CopiedPages() != 0 {
+		t.Fatal("Checkpoint should not copy page bytes")
+	}
+	// Restore twice from the same snapshot; both restores see the
+	// checkpointed value even after the machine mutates in between.
+	m.Restore(s)
+	if err := m.Mem.Write8(0x10000, 1234); err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(s)
+	if v, _ := m.Mem.Read8(0x10000); v != 20 {
+		t.Fatalf("second restore reads %d, want 20", v)
+	}
+}

@@ -24,7 +24,9 @@ type Snapshot struct {
 	Mem     *mem.Memory
 }
 
-// Checkpoint captures the machine's current architectural state.
+// Checkpoint captures the machine's current architectural state. The
+// memory image is a copy-on-write fork (no page bytes are copied), so
+// checkpointing is cheap even for large address spaces.
 func (m *Machine) Checkpoint() *Snapshot {
 	return &Snapshot{
 		X:       m.X,
@@ -32,12 +34,12 @@ func (m *Machine) Checkpoint() *Snapshot {
 		PC:      m.PC,
 		Retired: m.Retired,
 		Halted:  m.Halted,
-		Mem:     m.Mem.Snapshot(),
+		Mem:     m.Mem.Fork(),
 	}
 }
 
 // Restore rewinds the machine to a previously captured snapshot. The
-// snapshot itself remains valid (restoring copies it again), so one
+// snapshot itself remains valid (restoring forks it again), so one
 // checkpoint can be restored repeatedly — exactly the C/R usage pattern.
 func (m *Machine) Restore(s *Snapshot) {
 	m.X = s.X
@@ -45,7 +47,7 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.PC = s.PC
 	m.Retired = s.Retired
 	m.Halted = s.Halted
-	m.Mem = s.Mem.Snapshot()
+	m.Mem = s.Mem.Fork()
 }
 
 // snapMagic guards the serialized snapshot format.

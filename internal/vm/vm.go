@@ -97,6 +97,7 @@ type Machine struct {
 	// signal. The no-trap fast path is unaffected.
 	OnTrap func(*Trap)
 
+	cfg Config
 	out io.Writer
 }
 
@@ -115,7 +116,7 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	if heap == 0 {
 		heap = isa.DefaultHeapBytes
 	}
-	m := &Machine{Prog: prog, Mem: mem.New(), out: cfg.Out}
+	m := &Machine{Prog: prog, Mem: mem.New(), cfg: cfg, out: cfg.Out}
 	if prog.Globals > 0 {
 		if err := m.Mem.Map("globals", isa.GlobalBase, prog.Globals); err != nil {
 			return nil, err
@@ -409,6 +410,33 @@ func (m *Machine) Run(maxInstrs uint64) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// Fork returns an isolated copy-on-write clone of the machine: registers,
+// PC and retirement counter are copied, and memory is shared until either
+// side writes a page (mem.Memory.Fork). Forking is O(segments), which is
+// what makes per-injection machines and waypoint snapshots cheap.
+//
+// A machine that is never stepped or written after forking (a waypoint)
+// may be forked again concurrently from multiple goroutines.
+func (m *Machine) Fork() *Machine {
+	c := *m
+	c.Mem = m.Mem.Fork()
+	return &c
+}
+
+// Reset rewinds the machine to its freshly-loaded state — the state New
+// returned: segments remapped, initialized data rewritten, registers
+// zeroed, PC at the entry and sp = bp = stack top. The program image and
+// output sink are kept.
+func (m *Machine) Reset() error {
+	n, err := New(m.Prog, m.cfg)
+	if err != nil {
+		return err
+	}
+	n.OnTrap = m.OnTrap
+	*m = *n
 	return nil
 }
 

@@ -145,6 +145,18 @@ const (
 	LetGoE  = inject.LetGoE
 )
 
+// CampaignEngine selects the execution substrate for injected runs. Both
+// engines produce byte-identical results for a fixed seed; the default
+// fork-replay engine shares the golden prefix through COW forks instead
+// of re-running every injection from PC 0.
+type CampaignEngine = inject.Engine
+
+// Campaign engines.
+const (
+	EngineFork  = inject.EngineFork
+	EngineRerun = inject.EngineRerun
+)
+
 // Outcome classes (Figure 4 taxonomy).
 type OutcomeClass = outcome.Class
 
