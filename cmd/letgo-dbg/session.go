@@ -81,6 +81,8 @@ func (s *session) reportStop(stop *debug.Stop) {
 		s.printf("stopped on %v at pc=0x%x: %v\n", stop.Signal, s.m.PC, stop.Trap)
 	case debug.StopTerminated:
 		s.printf("program terminated by %v: %v\n", stop.Signal, stop.Trap)
+	case debug.StopError:
+		s.printf("execution error at pc=0x%x: %v\n", s.m.PC, stop.Err)
 	}
 }
 

@@ -20,6 +20,26 @@ func (p Point) Gain() float64 { return p.LetGo - p.Standard }
 // "long simulation time" for asymptotic efficiency.
 const DefaultHorizon = 10 * 365 * 24 * 3600.0
 
+// sweep is the one kernel behind both figure sweeps: for each x it builds
+// the model parameters, runs both arms on RNG streams split from a single
+// seeded source, and records the efficiency pair.
+func sweep(xs []float64, params func(x float64) (Params, error), seed uint64, horizon float64, tr Tracer) ([]Point, error) {
+	rng := stats.NewRNG(seed)
+	out := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		p, err := params(x)
+		if err != nil {
+			return nil, err
+		}
+		std, lg, err := CompareArms(p, rng, horizon, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: x, Standard: std.Efficiency(), LetGo: lg.Efficiency()})
+	}
+	return out, nil
+}
+
 // Figure7 reproduces the paper's Figure 7: efficiency with and without
 // LetGo as the checkpoint cost scales (12 s, 120 s, 1200 s) at
 // MTBFaults = 21600 s and 10% synchronization overhead.
@@ -27,25 +47,17 @@ func Figure7(app AppProbabilities, seed uint64) ([]Point, error) {
 	return SweepCheckpointCost(app, []float64{12, 120, 1200}, 0.10, 21600, seed, DefaultHorizon)
 }
 
-// SweepCheckpointCost runs both models across checkpoint costs.
-func SweepCheckpointCost(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64) ([]Point, error) {
-	return SweepCheckpointCostTraced(app, tchks, syncFrac, mtbFaults, seed, horizon, nil)
+// SweepCheckpointCostTraced runs both models across checkpoint costs,
+// reporting state transitions to tr when non-nil.
+func SweepCheckpointCostTraced(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
+	return sweep(tchks, func(tchk float64) (Params, error) {
+		return ParamsFor(app, tchk, syncFrac, mtbFaults), nil
+	}, seed, horizon, tr)
 }
 
-// SweepCheckpointCostTraced is SweepCheckpointCost with an optional
-// transition tracer.
-func SweepCheckpointCostTraced(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
-	rng := stats.NewRNG(seed)
-	out := make([]Point, 0, len(tchks))
-	for _, tchk := range tchks {
-		p := ParamsFor(app, tchk, syncFrac, mtbFaults)
-		std, lg, err := CompareTraced(p, rng, horizon, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Point{X: tchk, Standard: std.Efficiency(), LetGo: lg.Efficiency()})
-	}
-	return out, nil
+// SweepCheckpointCost is SweepCheckpointCostTraced without a tracer.
+func SweepCheckpointCost(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64) ([]Point, error) {
+	return SweepCheckpointCostTraced(app, tchks, syncFrac, mtbFaults, seed, horizon, nil)
 }
 
 // Figure8 reproduces the paper's Figure 8: efficiency as the system
@@ -56,26 +68,23 @@ func Figure8(app AppProbabilities, tchk float64, seed uint64) ([]Point, error) {
 	return SweepScale(app, tchk, 0.10, []int{100_000, 200_000, 400_000}, seed, DefaultHorizon)
 }
 
-// SweepScale runs both models across system sizes.
-func SweepScale(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64) ([]Point, error) {
-	return SweepScaleTraced(app, tchk, syncFrac, nodes, seed, horizon, nil)
+// SweepScaleTraced runs both models across system sizes, reporting state
+// transitions to tr when non-nil.
+func SweepScaleTraced(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
+	xs := make([]float64, len(nodes))
+	for i, n := range nodes {
+		xs[i] = float64(n)
+	}
+	return sweep(xs, func(x float64) (Params, error) {
+		if x <= 0 {
+			return Params{}, fmt.Errorf("checkpoint: non-positive node count %d", int(x))
+		}
+		mtbf := 12 * 3600.0 * 100_000 / x // crash MTBF shrinks with scale
+		return ParamsFor(app, tchk, syncFrac, 2*mtbf), nil
+	}, seed, horizon, tr)
 }
 
-// SweepScaleTraced is SweepScale with an optional transition tracer.
-func SweepScaleTraced(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
-	rng := stats.NewRNG(seed)
-	out := make([]Point, 0, len(nodes))
-	for _, n := range nodes {
-		if n <= 0 {
-			return nil, fmt.Errorf("checkpoint: non-positive node count %d", n)
-		}
-		mtbf := 12 * 3600.0 * 100_000 / float64(n) // crash MTBF shrinks with scale
-		p := ParamsFor(app, tchk, syncFrac, 2*mtbf)
-		std, lg, err := CompareTraced(p, rng, horizon, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Point{X: float64(n), Standard: std.Efficiency(), LetGo: lg.Efficiency()})
-	}
-	return out, nil
+// SweepScale is SweepScaleTraced without a tracer.
+func SweepScale(app AppProbabilities, tchk, syncFrac float64, nodes []int, seed uint64, horizon float64) ([]Point, error) {
+	return SweepScaleTraced(app, tchk, syncFrac, nodes, seed, horizon, nil)
 }

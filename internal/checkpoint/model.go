@@ -190,48 +190,68 @@ type Tracer interface {
 	Transition(arm, from, to string, cost, useful float64)
 }
 
-// SimulateStandard runs the M-S state machine (Figure 6a) until the
-// accumulated cost reaches horizon seconds, returning the asymptotic
-// efficiency statistics.
-func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error) {
-	return SimulateStandardTraced(p, rng, horizon, nil)
-}
-
-// SimulateStandardTraced is SimulateStandard with an optional transition
-// tracer (nil traces nothing).
-func SimulateStandardTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
+// Simulate is the one simulation kernel behind both arms: the shared
+// COMP/VERIF/CHK/ROLLBACK scaffolding (interval bookkeeping, fault clock,
+// verification, checkpointing, rollback) runs identically, and the letgo
+// flag enables the M-L extension states (Figure 6b's LETGO/CONT) on the
+// crash path plus the PVPrime verification bias for continued intervals.
+// With letgo=false the crash path and the random draw sequence are
+// exactly M-S (Figure 6a): the standard arm never draws PLetGo.
+//
+// tr, when non-nil, observes every state transition; tracing is strictly
+// passive (same random stream, same Result as untraced).
+func Simulate(p Params, rng *stats.RNG, horizon float64, letgo bool, tr Tracer) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	T := p.IntervalFor(false)
+	T := p.IntervalFor(letgo)
+	arm := ArmStandard
+	if letgo {
+		arm = ArmLetGo
+	}
 	clock := faultClock{rng: rng, mean: p.MTBFaults, shape: p.WeibullShape}
 
 	var res Result
 	var cost, u, q float64
 	trace := func(from, to string) {
 		if tr != nil {
-			tr.Transition(ArmStandard, from, to, cost, u)
+			tr.Transition(arm, from, to, cost, u)
 		}
 	}
 	t := clock.next() // time until the next fault
 	faults := 0       // non-crash faults since the last verified checkpoint
+	isLetGo := false  // M-L only: a repaired crash occurred this interval
+	// compState names the computing state for the tracer only: CONT after
+	// an elided crash, COMP otherwise (always COMP in the standard arm).
+	compState := func() string {
+		if isLetGo {
+			return StateCont
+		}
+		return StateComp
+	}
 
 	for cost < horizon {
-		// COMP state.
+		// COMP/CONT state (they share fault handling; isLetGo
+		// distinguishes them, and is constant-false for M-S).
 		if t > T-q {
-			// Transition 1: reach the end of the interval; verify.
+			// Transitions 1/5: reach the end of the interval; verify.
+			from := compState()
 			t -= T - q
 			cost += T - q
-			q = T
-			// VERIF state.
+			// VERIF state: a continued interval verifies against PVPrime
+			// (M-L transition 9), a normal one against PV.
 			cost += p.TV()
-			trace(StateComp, StateVerif)
-			if rng.Float64() < math.Pow(p.PV, float64(faults)) {
-				// Transition 5: check passes; checkpoint.
+			trace(from, StateVerif)
+			pv := p.PV
+			if isLetGo {
+				pv = p.PVPrime
+			}
+			if rng.Float64() < math.Pow(pv, float64(faults)) {
+				// Check passes; checkpoint (CHK state).
 				u += T
 				q = 0
 				faults = 0
-				// CHK state, transition 6.
+				isLetGo = false
 				cost += p.TChk + p.TSync()
 				res.Checkpoints++
 				trace(StateVerif, StateChk)
@@ -243,6 +263,7 @@ func SimulateStandardTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer
 				cost += p.TRecover() + p.TSync()
 				q = 0
 				faults = 0
+				isLetGo = false
 				trace(StateVerif, StateRollback)
 				trace(StateRollback, StateComp)
 			}
@@ -251,140 +272,46 @@ func SimulateStandardTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer
 		// A fault arrives before the interval ends.
 		res.Faults++
 		if rng.Float64() < p.PCrash {
-			// Transition 4: crash; roll back to the last checkpoint.
 			res.Crashes++
-			res.Rollbacks++
-			cost += t + p.TRecover() + p.TSync()
-			q = 0
-			faults = 0
-			trace(StateComp, StateRollback)
-			trace(StateRollback, StateComp)
-		} else {
-			// Transition 3: latent fault; keep computing.
-			cost += t
-			q += t
-			faults++
-			trace(StateComp, StateComp)
-		}
-		t = clock.next()
-	}
-	res.Useful = u
-	res.Cost = cost
-	return res, nil
-}
-
-// SimulateLetGo runs the M-L state machine (Figure 6b): crashes first go
-// to the LETGO state; elided crashes continue in CONT with the isLetGo
-// flag selecting PVPrime at the next verification.
-func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
-	return SimulateLetGoTraced(p, rng, horizon, nil)
-}
-
-// SimulateLetGoTraced is SimulateLetGo with an optional transition tracer.
-func SimulateLetGoTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	T := p.IntervalFor(true)
-	clock := faultClock{rng: rng, mean: p.MTBFaults, shape: p.WeibullShape}
-
-	var res Result
-	var cost, u, q float64
-	trace := func(from, to string) {
-		if tr != nil {
-			tr.Transition(ArmLetGo, from, to, cost, u)
-		}
-	}
-	t := clock.next()
-	faults := 0
-	isLetGo := false // a repaired crash occurred in the current interval
-	// compState names the computing state for the tracer only.
-	compState := func() string {
-		if isLetGo {
-			return StateCont
-		}
-		return StateComp
-	}
-
-	for cost < horizon {
-		// COMP/CONT state (they share fault handling; isLetGo
-		// distinguishes them).
-		if t > T-q {
-			// Transitions 1/5: interval complete; verify.
-			from := compState()
-			t -= T - q
-			cost += T - q
-			// VERIF state: transition 9 picks the base probability.
-			cost += p.TV()
-			trace(from, StateVerif)
-			pv := p.PV
-			if isLetGo {
-				pv = p.PVPrime
-			}
-			if rng.Float64() < math.Pow(pv, float64(faults)) {
-				u += T
-				q = 0
-				faults = 0
-				isLetGo = false
-				cost += p.TChk + p.TSync()
-				res.Checkpoints++
-				trace(StateVerif, StateChk)
-				trace(StateChk, StateComp)
+			if letgo && !isLetGo {
+				// M-L transition 3: crash -> LETGO state. The crashing
+				// fault counts toward the corrupted-state exponent.
+				cost += t
+				q += t
+				faults++
+				trace(StateComp, StateLetGo)
+				if rng.Float64() < p.PLetGo {
+					// Transition 4: repaired; continue in CONT.
+					cost += p.TLetGo
+					isLetGo = true
+					res.Elided++
+					trace(StateLetGo, StateCont)
+				} else {
+					// Transition 11: give up; roll back.
+					res.GaveUp++
+					res.Rollbacks++
+					cost += p.TLetGo + p.TRecover() + p.TSync()
+					q = 0
+					faults = 0
+					trace(StateLetGo, StateRollback)
+					trace(StateRollback, StateComp)
+				}
 			} else {
-				// Transition 2: failed check; roll back.
-				res.VerifyFail++
-				res.Rollbacks++
-				cost += p.TRecover() + p.TSync()
-				q = 0
-				faults = 0
-				isLetGo = false
-				trace(StateVerif, StateRollback)
-				trace(StateRollback, StateComp)
-			}
-			continue
-		}
-		res.Faults++
-		if rng.Float64() < p.PCrash {
-			res.Crashes++
-			if isLetGo {
-				// Transition 6: a second crash in the CONT state rolls
-				// back directly — LetGo does not re-elide within an
-				// already-continued interval (Figure 6b).
+				// Crash; roll back to the last checkpoint. This is M-S
+				// transition 4, and M-L transition 6 for a second crash in
+				// CONT — LetGo does not re-elide within an already-
+				// continued interval (Figure 6b).
+				from := compState()
 				res.Rollbacks++
 				cost += t + p.TRecover() + p.TSync()
 				q = 0
 				faults = 0
 				isLetGo = false
-				trace(StateCont, StateRollback)
-				trace(StateRollback, StateComp)
-				t = clock.next()
-				continue
-			}
-			// Transition 3: crash -> LETGO state. The crashing fault
-			// counts toward the corrupted-state exponent.
-			cost += t
-			q += t
-			faults++
-			trace(StateComp, StateLetGo)
-			if rng.Float64() < p.PLetGo {
-				// Transition 4: repaired; continue in CONT.
-				cost += p.TLetGo
-				isLetGo = true
-				res.Elided++
-				trace(StateLetGo, StateCont)
-			} else {
-				// Transition 11: give up; roll back.
-				res.GaveUp++
-				res.Rollbacks++
-				cost += p.TLetGo + p.TRecover() + p.TSync()
-				q = 0
-				faults = 0
-				isLetGo = false
-				trace(StateLetGo, StateRollback)
+				trace(from, StateRollback)
 				trace(StateRollback, StateComp)
 			}
 		} else {
-			// Transitions 3(M-S-like)/7: latent fault.
+			// Transitions 3(M-S)/7: latent fault; keep computing.
 			from := compState()
 			cost += t
 			q += t
@@ -398,21 +325,53 @@ func SimulateLetGoTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (
 	return res, nil
 }
 
-// Compare runs both models on the same parameters (fresh RNG streams
-// split from rng) and returns (standard, letgo).
-func Compare(p Params, rng *stats.RNG, horizon float64) (Result, Result, error) {
-	return CompareTraced(p, rng, horizon, nil)
+// SimulateStandard runs the M-S state machine (Figure 6a) until the
+// accumulated cost reaches horizon seconds, returning the asymptotic
+// efficiency statistics.
+func SimulateStandard(p Params, rng *stats.RNG, horizon float64) (Result, error) {
+	return Simulate(p, rng, horizon, false, nil)
 }
 
-// CompareTraced is Compare with an optional transition tracer.
-func CompareTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, Result, error) {
-	std, err := SimulateStandardTraced(p, rng.Split(), horizon, tr)
+// SimulateStandardTraced is SimulateStandard with an optional transition
+// tracer (nil traces nothing).
+func SimulateStandardTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
+	return Simulate(p, rng, horizon, false, tr)
+}
+
+// SimulateLetGo runs the M-L state machine (Figure 6b): crashes first go
+// to the LETGO state; elided crashes continue in CONT with the isLetGo
+// flag selecting PVPrime at the next verification.
+func SimulateLetGo(p Params, rng *stats.RNG, horizon float64) (Result, error) {
+	return Simulate(p, rng, horizon, true, nil)
+}
+
+// SimulateLetGoTraced is SimulateLetGo with an optional transition tracer.
+func SimulateLetGoTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, error) {
+	return Simulate(p, rng, horizon, true, tr)
+}
+
+// CompareArms runs both models on the same parameters (fresh RNG streams
+// split from rng) and returns (standard, letgo). tr, when non-nil,
+// observes both arms' transitions.
+func CompareArms(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, Result, error) {
+	std, err := Simulate(p, rng.Split(), horizon, false, tr)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	lg, err := SimulateLetGoTraced(p, rng.Split(), horizon, tr)
+	lg, err := Simulate(p, rng.Split(), horizon, true, tr)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
 	return std, lg, nil
+}
+
+// Compare is CompareArms without a tracer.
+func Compare(p Params, rng *stats.RNG, horizon float64) (Result, Result, error) {
+	return CompareArms(p, rng, horizon, nil)
+}
+
+// CompareTraced is kept as a thin alias of CompareArms for existing
+// callers.
+func CompareTraced(p Params, rng *stats.RNG, horizon float64, tr Tracer) (Result, Result, error) {
+	return CompareArms(p, rng, horizon, tr)
 }

@@ -203,48 +203,60 @@ func Attach(m *vm.Machine, an *pin.Analysis, opts Options) *Runner {
 }
 
 // Run executes the application under LetGo supervision until it halts,
-// hangs, or dies of a crash LetGo would not or could not elide.
+// hangs, or dies of a crash LetGo would not or could not elide. The
+// monitor is not a loop of its own: it is debug.Supervise — and under it
+// vm.Drive — with intercept installed as the signal supervisor, so the
+// supervised hot path is the same bare dispatch loop an unsupervised run
+// uses.
 func (r *Runner) Run(maxInstrs uint64) Result {
-	stop := r.Dbg.Run(maxInstrs)
+	r.Dbg.ResetResume()
 	for {
+		stop := r.Dbg.Supervise(maxInstrs, r.intercept)
 		switch stop.Reason {
 		case debug.StopHalt:
 			return r.result(RunCompleted, vm.SIGNONE)
 		case debug.StopBudget:
 			return r.result(RunHang, vm.SIGNONE)
-		case debug.StopTerminated:
+		case debug.StopTerminated, debug.StopSignal:
+			// StopSignal here means intercept declined the repair: the
+			// program dies of its crash either way.
 			return r.result(RunCrashed, stop.Signal)
-		case debug.StopSignal:
-			r.Opts.Obs.Counter("letgo_signals_intercepted_total", "signal", stop.Signal.String()).Inc()
-			r.Opts.Obs.Emit(obs.SignalEvent{
-				Signal: stop.Signal.String(), PC: r.Dbg.PC(),
-				Retired: r.Dbg.M.Retired, Intercepted: true,
-			})
-			if r.repairs >= r.Opts.maxRepairs() {
-				// Second crash: LetGo does not intervene and the program
-				// terminates (Section 4.1).
-				r.giveUp("repair_budget", stop)
-				return r.result(RunCrashed, stop.Signal)
-			}
-			if !r.repair(stop) {
-				r.giveUp("unrepairable", stop)
-				return r.result(RunCrashed, stop.Signal)
-			}
-			stop = r.Dbg.Continue(maxInstrs)
 		case debug.StopBreakpoint:
 			// LetGo sets no breakpoints itself; a client (fault injector)
 			// may. Resume transparently.
-			stop = r.Dbg.Continue(maxInstrs)
 		default:
 			return r.result(RunCrashed, stop.Signal)
 		}
 	}
 }
 
+// intercept is the monitor decision (steps 2-4 of the paper's Figure 3),
+// invoked by the dispatch core on every intercepted crash signal: true
+// means the modifier repaired state and the run continues in place,
+// false means LetGo stands aside and the program terminates.
+func (r *Runner) intercept(t *vm.Trap) bool {
+	r.Opts.Obs.Counter("letgo_signals_intercepted_total", "signal", t.Signal.String()).Inc()
+	r.Opts.Obs.Emit(obs.SignalEvent{
+		Signal: t.Signal.String(), PC: r.Dbg.PC(),
+		Retired: r.Dbg.M.Retired, Intercepted: true,
+	})
+	if r.repairs >= r.Opts.maxRepairs() {
+		// Second crash: LetGo does not intervene and the program
+		// terminates (Section 4.1).
+		r.giveUp("repair_budget", t)
+		return false
+	}
+	if !r.repair(t) {
+		r.giveUp("unrepairable", t)
+		return false
+	}
+	return true
+}
+
 // giveUp records a declined repair into the optional sinks.
-func (r *Runner) giveUp(reason string, stop *debug.Stop) {
+func (r *Runner) giveUp(reason string, t *vm.Trap) {
 	r.Opts.Obs.Counter("letgo_repair_giveups_total", "reason", reason).Inc()
-	r.Opts.Obs.Emit(obs.GiveUpEvent{Reason: reason, Signal: stop.Signal.String(), PC: r.Dbg.PC()})
+	r.Opts.Obs.Emit(obs.GiveUpEvent{Reason: reason, Signal: t.Signal.String(), PC: r.Dbg.PC()})
 }
 
 func (r *Runner) result(kind OutcomeKind, sig vm.Signal) Result {
@@ -261,11 +273,11 @@ func (r *Runner) result(kind OutcomeKind, sig vm.Signal) Result {
 // repair is the modifier (step 4 of Figure 3). It returns false when the
 // state cannot be adjusted (e.g. the PC itself is corrupted), in which
 // case LetGo lets the application die.
-func (r *Runner) repair(stop *debug.Stop) bool {
+func (r *Runner) repair(t *vm.Trap) bool {
 	start := time.Now()
-	ev := Event{Signal: stop.Signal, PC: r.Dbg.PC(), Retired: r.Dbg.M.Retired}
+	ev := Event{Signal: t.Signal, PC: r.Dbg.PC(), Retired: r.Dbg.M.Retired}
 
-	if stop.Trap != nil && stop.Trap.Fetch {
+	if t.Fetch {
 		// The PC itself is invalid: there is no "next instruction" to
 		// advance to. LetGo gives up.
 		return false

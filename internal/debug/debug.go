@@ -6,7 +6,6 @@
 package debug
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/letgo-hpc/letgo/internal/isa"
@@ -38,6 +37,7 @@ const (
 	StopSignal                       // a signal with Stop disposition
 	StopTerminated                   // a signal with Pass disposition killed the program
 	StopBudget                       // the retired-instruction budget ran out
+	StopError                        // a non-trap machine error (see Stop.Err)
 )
 
 func (r StopReason) String() string {
@@ -52,6 +52,8 @@ func (r StopReason) String() string {
 		return "terminated"
 	case StopBudget:
 		return "budget"
+	case StopError:
+		return "error"
 	}
 	return fmt.Sprintf("stopreason?%d", r)
 }
@@ -62,6 +64,7 @@ type Stop struct {
 	Signal vm.Signal // for StopSignal / StopTerminated
 	Trap   *vm.Trap  // machine exception details, if any
 	BP     *Breakpoint
+	Err    error // for StopError: the machine error that was not a trap
 }
 
 // Breakpoint suspends execution when the PC reaches Addr, after skipping
@@ -164,82 +167,91 @@ func (d *Debugger) StepInstr() *Stop {
 		return nil
 	}
 	if trap, ok := err.(*vm.Trap); ok {
-		disp := d.DispositionFor(trap.Signal)
-		if disp.Stop {
-			return &Stop{Reason: StopSignal, Signal: trap.Signal, Trap: trap}
-		}
-		return &Stop{Reason: StopTerminated, Signal: trap.Signal, Trap: trap}
+		return d.signalStop(trap)
 	}
-	// Step on an already-halted machine: treat as halt.
-	return &Stop{Reason: StopHalt}
+	// A non-trap machine error (e.g. stepping an already-halted machine)
+	// is not a normal halt; surface it instead of swallowing it.
+	return &Stop{Reason: StopError, Err: err}
 }
 
-func (d *Debugger) lookupBP(pc uint64) (*Breakpoint, bool) {
-	if len(d.breakpoints) == 0 {
-		return nil, false
+// signalStop maps a trap to a stop per the disposition table.
+func (d *Debugger) signalStop(trap *vm.Trap) *Stop {
+	if d.DispositionFor(trap.Signal).Stop {
+		return &Stop{Reason: StopSignal, Signal: trap.Signal, Trap: trap}
 	}
-	bp, ok := d.breakpoints[pc]
-	return bp, ok
+	return &Stop{Reason: StopTerminated, Signal: trap.Signal, Trap: trap}
 }
 
 // Continue resumes execution until a stop event or until the machine has
 // retired maxInstrs instructions in total.
 //
-// With no breakpoints installed, the debuggee runs at native machine
-// speed and the debugger only sees trap events — matching gdb, which adds
-// no per-instruction work to a program it merely supervises (the paper's
-// Section-6.2 "<1% overhead" measurement).
+// With no breakpoints installed, the debuggee runs on vm.Drive's bare
+// predecoded dispatch loop and the debugger only sees trap events —
+// matching gdb, which adds no per-instruction work to a program it merely
+// supervises (the paper's Section-6.2 "<1% overhead" measurement).
 func (d *Debugger) Continue(maxInstrs uint64) *Stop {
-	if len(d.breakpoints) == 0 {
-		d.hasResume = false
-		if d.M.Halted {
-			return &Stop{Reason: StopHalt}
+	return d.continueWith(maxInstrs, nil)
+}
+
+// continueWith is the one resume path behind Continue, Run and Supervise:
+// it configures vm.Drive with the debugger's breakpoint logic as a Before
+// hook (only when breakpoints exist — otherwise the bare loop runs) and
+// the disposition table as the Trap hook. sup, when non-nil, is consulted
+// on signals with Stop disposition; returning true resumes the debuggee
+// in place (LetGo's repair loop), false stops as usual.
+func (d *Debugger) continueWith(maxInstrs uint64, sup func(*vm.Trap) bool) *Stop {
+	var hooks vm.Hooks
+	var stopped *Stop
+
+	hooks.Trap = func(_ *vm.Machine, t *vm.Trap) bool {
+		s := d.signalStop(t)
+		if s.Reason == StopSignal && sup != nil && sup(t) {
+			return true
 		}
-		err := d.M.Run(maxInstrs)
-		switch {
-		case err == nil:
-			return &Stop{Reason: StopHalt}
-		case errors.Is(err, vm.ErrBudget):
-			return &Stop{Reason: StopBudget}
-		}
-		if trap, ok := err.(*vm.Trap); ok {
-			if d.DispositionFor(trap.Signal).Stop {
-				return &Stop{Reason: StopSignal, Signal: trap.Signal, Trap: trap}
-			}
-			return &Stop{Reason: StopTerminated, Signal: trap.Signal, Trap: trap}
-		}
-		return &Stop{Reason: StopHalt}
+		stopped = s
+		return false
 	}
 
-	first := true
-	for {
-		if d.M.Halted {
-			return &Stop{Reason: StopHalt}
-		}
-		if d.M.Retired >= maxInstrs {
-			return &Stop{Reason: StopBudget}
-		}
+	if len(d.breakpoints) == 0 {
+		d.hasResume = false
+	} else {
 		// Breakpoint check happens before executing the instruction at PC,
-		// except immediately after resuming from that same breakpoint.
-		// (The len check keeps the no-breakpoint execution path free of a
-		// per-instruction map lookup.)
-		if bp, ok := d.lookupBP(d.M.PC); ok && bp.Enabled {
-			skip := first && d.hasResume && d.resumeFrom == d.M.PC
-			if !skip {
-				bp.Hits++
-				if bp.Hits > bp.Ignore {
-					d.resumeFrom = d.M.PC
-					d.hasResume = true
-					return &Stop{Reason: StopBreakpoint, BP: bp}
+		// except immediately after resuming from that same breakpoint (gdb
+		// steps over the breakpoint on resume).
+		first := true
+		hooks.Before = func(m *vm.Machine) bool {
+			if bp, ok := d.breakpoints[m.PC]; ok && bp.Enabled {
+				skip := first && d.hasResume && d.resumeFrom == m.PC
+				if !skip {
+					bp.Hits++
+					if bp.Hits > bp.Ignore {
+						d.resumeFrom = m.PC
+						d.hasResume = true
+						stopped = &Stop{Reason: StopBreakpoint, BP: bp}
+						return true
+					}
 				}
 			}
-		}
-		first = false
-		if stop := d.StepInstr(); stop != nil {
-			d.hasResume = false
-			return stop
+			first = false
+			return false
 		}
 	}
+
+	stop := vm.Drive(d.M, maxInstrs, hooks)
+	switch stop.Reason {
+	case vm.StopHalted:
+		d.hasResume = false
+		return &Stop{Reason: StopHalt}
+	case vm.StopBudget:
+		return &Stop{Reason: StopBudget}
+	case vm.StopTrap, vm.StopBefore:
+		if stop.Reason == vm.StopTrap {
+			d.hasResume = false
+		}
+		return stopped
+	}
+	d.hasResume = false
+	return &Stop{Reason: StopError, Err: stop.Err}
 }
 
 // Run is Continue with the resume marker cleared: use it for the initial
@@ -247,6 +259,19 @@ func (d *Debugger) Continue(maxInstrs uint64) *Stop {
 func (d *Debugger) Run(maxInstrs uint64) *Stop {
 	d.hasResume = false
 	return d.Continue(maxInstrs)
+}
+
+// ResetResume clears the step-over-on-resume marker, as if the debuggee
+// had just been launched. Supervisors that own the whole run lifecycle
+// (core.Runner) call it once up front.
+func (d *Debugger) ResetResume() { d.hasResume = false }
+
+// Supervise is Continue with a signal supervisor: on every signal whose
+// disposition says stop, sup decides — true repairs-and-resumes the
+// debuggee without leaving the dispatch loop, false returns the signal
+// stop. It is LetGo's monitor loop expressed as a hook configuration.
+func (d *Debugger) Supervise(maxInstrs uint64, sup func(*vm.Trap) bool) *Stop {
+	return d.continueWith(maxInstrs, sup)
 }
 
 // RunToDynamic executes until the machine's absolute retired-instruction
@@ -257,15 +282,26 @@ func (d *Debugger) Run(maxInstrs uint64) *Stop {
 //
 // This is the fork-replay engine's positioning primitive: replaying a
 // fault-free prefix from a waypoint does not need breakpoint-instance
-// counting, only "run until the N-th dynamic instruction".
+// counting, only "run until the N-th dynamic instruction" — which is
+// exactly vm.Drive's budget, so the replay runs the bare dispatch loop.
 func (d *Debugger) RunToDynamic(target uint64) *Stop {
-	for d.M.Retired < target {
-		if d.M.Halted {
-			return &Stop{Reason: StopHalt}
-		}
-		if stop := d.StepInstr(); stop != nil {
-			return stop
-		}
+	if d.M.Retired >= target {
+		return nil
 	}
-	return nil
+	var stopped *Stop
+	stop := vm.Drive(d.M, target, vm.Hooks{
+		Trap: func(_ *vm.Machine, t *vm.Trap) bool {
+			stopped = d.signalStop(t)
+			return false
+		},
+	})
+	switch stop.Reason {
+	case vm.StopBudget:
+		return nil // positioned exactly at target retirements
+	case vm.StopHalted:
+		return &Stop{Reason: StopHalt}
+	case vm.StopTrap:
+		return stopped
+	}
+	return &Stop{Reason: StopError, Err: stop.Err}
 }

@@ -291,3 +291,38 @@ func TestRunToDynamicIgnoresBreakpoints(t *testing.T) {
 		t.Fatalf("retired = %d, want 3", d.M.Retired)
 	}
 }
+
+// TestStepInstrHaltedSurfacesStopError is the regression test for the
+// old no-breakpoint path that mapped any non-trap, non-budget machine
+// error to StopHalt: stepping an already-halted machine is an error, and
+// must be reported as its own stop reason with the error attached — a
+// caller treating it as a clean halt would double-count completions.
+func TestStepInstrHaltedSurfacesStopError(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if stop := d.Run(1 << 16); stop.Reason != StopHalt {
+		t.Fatalf("setup run: %+v", stop)
+	}
+	stop := d.StepInstr()
+	if stop == nil || stop.Reason != StopError {
+		t.Fatalf("stop = %+v, want StopError", stop)
+	}
+	if stop.Err == nil {
+		t.Fatal("StopError with nil Err")
+	}
+	if stop.Reason.String() != "error" {
+		t.Errorf("StopError.String() = %q", stop.Reason.String())
+	}
+}
+
+// TestContinueOnHaltedMachineIsHalt pins the companion behavior: Continue
+// on a machine that already halted is a StopHalt (the driver checks the
+// halt flag before stepping), not a StopError.
+func TestContinueOnHaltedMachineIsHalt(t *testing.T) {
+	d := New(machine(t, loopSrc))
+	if stop := d.Run(1 << 16); stop.Reason != StopHalt {
+		t.Fatalf("setup run: %+v", stop)
+	}
+	if stop := d.Continue(1 << 16); stop.Reason != StopHalt {
+		t.Fatalf("Continue after halt = %+v, want StopHalt", stop)
+	}
+}

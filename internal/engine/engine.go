@@ -19,6 +19,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/letgo-hpc/letgo/internal/isa"
@@ -81,21 +82,30 @@ func Record(prog *isa.Program, cfg vm.Config, every, budget uint64) (*Golden, er
 		counts: make([]uint64, len(prog.Instrs)),
 	}
 	g.waypoints = append(g.waypoints, waypoint{retired: 0, m: m.Fork()})
-	for !m.Halted {
-		if m.Retired >= budget {
-			return nil, fmt.Errorf("engine: golden run exceeded budget of %d instructions", budget)
-		}
-		pc := m.PC
-		if err := m.Step(); err != nil {
-			return nil, fmt.Errorf("engine: fault-free golden run trapped: %w", err)
-		}
-		g.counts[(pc-isa.CodeBase)/isa.InstrBytes]++
-		if !m.Halted && m.Retired%g.Every == 0 {
-			g.waypoints = append(g.waypoints, waypoint{retired: m.Retired, m: m.Fork()})
-			if len(g.waypoints) > maxWaypoints {
-				g.thin()
+	// Recording is a Retired-hook configuration of the shared vm driver:
+	// the hook observes fully committed machine state after every
+	// retirement (so waypoint forks are sound), counts the instruction
+	// for the profile, and drops a waypoint on the ladder spacing.
+	stop := vm.Drive(m, budget, vm.Hooks{
+		Retired: func(m *vm.Machine, idx int) bool {
+			g.counts[idx]++
+			if !m.Halted && m.Retired%g.Every == 0 {
+				g.waypoints = append(g.waypoints, waypoint{retired: m.Retired, m: m.Fork()})
+				if len(g.waypoints) > maxWaypoints {
+					g.thin()
+				}
 			}
-		}
+			return false
+		},
+	})
+	switch stop.Reason {
+	case vm.StopHalted:
+	case vm.StopBudget:
+		return nil, fmt.Errorf("engine: golden run exceeded budget of %d instructions", budget)
+	case vm.StopTrap:
+		return nil, fmt.Errorf("engine: fault-free golden run trapped: %w", stop.Trap)
+	default:
+		return nil, fmt.Errorf("engine: fault-free golden run trapped: %w", stop.Err)
 	}
 	g.Final = m
 	g.Retired = m.Retired
@@ -170,18 +180,25 @@ func (g *Golden) ResolveWhens(sites []pin.Site) ([]uint64, error) {
 	m, _ := g.ForkAt(0)
 	occ := make([]uint64, len(g.counts))
 	remaining := len(want)
-	for !m.Halted && remaining > 0 {
-		idx := (m.PC - isa.CodeBase) / isa.InstrBytes
-		occ[idx]++
-		if idxs, ok := want[key{idx, occ[idx]}]; ok {
-			for _, j := range idxs {
-				whens[j] = m.Retired
+	// Site matching is a Before-hook configuration of the shared driver:
+	// each about-to-execute instruction bumps its occurrence counter and,
+	// on a match, records the machine's current retirement count. The hook
+	// stops the driver once every site is resolved.
+	stop := vm.Drive(m, math.MaxUint64, vm.Hooks{
+		Before: func(m *vm.Machine) bool {
+			idx := (m.PC - isa.CodeBase) / isa.InstrBytes
+			occ[idx]++
+			if idxs, ok := want[key{idx, occ[idx]}]; ok {
+				for _, j := range idxs {
+					whens[j] = m.Retired
+				}
+				remaining--
 			}
-			remaining--
-		}
-		if err := m.Step(); err != nil {
-			return nil, fmt.Errorf("engine: resolving injection sites: %w", err)
-		}
+			return remaining == 0
+		},
+	})
+	if stop.Reason == vm.StopTrap {
+		return nil, fmt.Errorf("engine: resolving injection sites: %w", stop.Trap)
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("engine: %d injection sites never reached in golden replay", remaining)

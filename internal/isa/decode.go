@@ -1,0 +1,48 @@
+package isa
+
+// Decoded is one predecoded instruction: the operand-resolved, dense
+// execution record the vm's dispatch core runs from. Everything an
+// executor needs per step is precomputed once at decode time:
+//
+//   - U is the immediate reinterpreted as the uint64 the executor actually
+//     consumes (address offsets, absolute branch targets, bit patterns) —
+//     the sign conversion is resolved here, not per retirement.
+//   - F is the immediate reinterpreted as its IEEE-754 payload, so FLI
+//     retires without a per-step Float64frombits.
+//   - Register operands are plain bytes, validated (< NumIntRegs) by
+//     Program.Validate before any Decoded slice exists.
+//
+// The record is 24 bytes — instructions sit densely in cache, and the
+// dispatch loop reads them by pointer without copying the wider
+// Instruction struct or re-deriving operand views.
+type Decoded struct {
+	U   uint64  // uint64(Imm): offsets, targets, immediates
+	F   float64 // Float64frombits(Imm): FLI payload
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+}
+
+// Decoded returns the program's predecoded instruction array, building it
+// on first use. The array is index-aligned with Instrs (instruction i
+// lives at CodeBase + i*InstrBytes), immutable once built, and shared by
+// every machine and every Fork executing the program — it is never
+// rebuilt per machine or per step. Safe for concurrent use.
+func (p *Program) Decoded() []Decoded {
+	p.decodeOnce.Do(func() {
+		d := make([]Decoded, len(p.Instrs))
+		for i, in := range p.Instrs {
+			d[i] = Decoded{
+				U:   uint64(in.Imm),
+				F:   in.Float(),
+				Op:  in.Op,
+				Rd:  uint8(in.Rd),
+				Rs1: uint8(in.Rs1),
+				Rs2: uint8(in.Rs2),
+			}
+		}
+		p.decoded = d
+	})
+	return p.decoded
+}

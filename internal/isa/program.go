@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Default memory layout of a loaded program. All values are byte addresses.
@@ -67,6 +68,12 @@ type Program struct {
 	Data []DataSpan
 	// Symbols lists functions and globals sorted by address.
 	Symbols []Symbol
+
+	// decoded is the lazily built predecoded instruction array (see
+	// Decoded). Guarded by decodeOnce; Program must not be copied by value
+	// once in use (all consumers hold *Program).
+	decodeOnce sync.Once
+	decoded    []Decoded
 }
 
 // DataSpan is a run of initialized bytes in the global segment.
@@ -213,6 +220,9 @@ func (p *Program) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary parses the object-file format.
 func (p *Program) UnmarshalBinary(b []byte) error {
+	// Reloading the image invalidates any previously built predecode array.
+	p.decodeOnce = sync.Once{}
+	p.decoded = nil
 	r := bytes.NewReader(b)
 	magic := make([]byte, len(objMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, objMagic) {

@@ -105,6 +105,21 @@ type Memory struct {
 	base     *frozen           // immutable fork history; nil for a root memory
 	segments []Segment
 	copied   uint64 // pages copied out of the base by COW faults
+
+	// One-entry caches for the aligned 8-byte hot path (the simulated
+	// machine's LD/ST/PUSH/POP/CALL/RET traffic). rPage may reference a
+	// frozen page (reads only); wPage always references a private page in
+	// pages, so Fork — which seals pages into the frozen base — must clear
+	// it. writablePage keeps rPage coherent when a page goes private.
+	// These caches make reads stateful, so sharing a Memory across
+	// goroutines requires external serialization even for reads (forking
+	// an unwritten Memory concurrently remains safe: it touches none of
+	// these fields).
+	rIdx  uint64
+	rPage []byte
+	wIdx  uint64
+	wPage []byte
+	seg   int // index of the last segment hit by mapped8
 }
 
 // New returns an empty memory with no mapped segments.
@@ -124,6 +139,10 @@ func (m *Memory) Fork() *Memory {
 		}
 		m.base = &frozen{pages: m.pages, parent: m.base, depth: depth}
 		m.pages = make(map[uint64][]byte)
+		// The sealed pages are immutable now; the write cache must not
+		// keep a direct reference into them. The read cache stays valid
+		// (same bytes) and is repointed by the next write to its page.
+		m.wIdx, m.wPage = 0, nil
 		if m.base.depth >= flattenDepth {
 			m.base = m.base.flatten()
 		}
@@ -222,18 +241,22 @@ func (m *Memory) readPage(addr uint64) []byte {
 // of the frozen base on first write (the COW fault).
 func (m *Memory) writablePage(addr uint64) []byte {
 	idx := addr / PageSize
-	if p, ok := m.pages[idx]; ok {
-		return p
-	}
-	p := make([]byte, PageSize)
-	for f := m.base; f != nil; f = f.parent {
-		if fp, ok := f.pages[idx]; ok {
-			copy(p, fp)
-			m.copied++
-			break
+	p, ok := m.pages[idx]
+	if !ok {
+		p = make([]byte, PageSize)
+		for f := m.base; f != nil; f = f.parent {
+			if fp, ok := f.pages[idx]; ok {
+				copy(p, fp)
+				m.copied++
+				break
+			}
 		}
+		m.pages[idx] = p
 	}
-	m.pages[idx] = p
+	// Keep both caches on the private copy: a read cache left pointing at
+	// the page's frozen ancestor would miss this and later writes.
+	m.wIdx, m.wPage = idx, p
+	m.rIdx, m.rPage = idx, p
 	return p
 }
 
@@ -267,24 +290,67 @@ func (m *Memory) rawWrite(addr uint64, src []byte) {
 	}
 }
 
-// Read8 loads a 64-bit little-endian word.
-func (m *Memory) Read8(addr uint64) (uint64, error) {
-	if err := m.check(addr, 8, false); err != nil {
-		return 0, err
+// mapped8 is Mapped specialized for an aligned 8-byte access, with a
+// one-entry cache of the last segment hit (the machine's loads and
+// stores run in long same-segment streaks).
+func (m *Memory) mapped8(addr uint64) bool {
+	if addr+8 < addr {
+		return false
 	}
-	var b [8]byte
-	m.rawRead(addr, b[:])
-	return binary.LittleEndian.Uint64(b[:]), nil
+	if m.seg < len(m.segments) {
+		if s := &m.segments[m.seg]; addr >= s.Base && addr+8 <= s.Base+s.Size {
+			return true
+		}
+	}
+	i := sort.Search(len(m.segments), func(i int) bool { return m.segments[i].Base > addr })
+	if i == 0 {
+		return false
+	}
+	s := m.segments[i-1]
+	if addr < s.Base || addr+8 > s.End() {
+		return false
+	}
+	m.seg = i - 1
+	return true
+}
+
+// Read8 loads a 64-bit little-endian word. An aligned access never
+// crosses a page, so a hit in the page cache is a direct slice read.
+func (m *Memory) Read8(addr uint64) (uint64, error) {
+	if addr&7 != 0 {
+		return 0, &AccessError{Kind: Misaligned, Addr: addr, Size: 8}
+	}
+	if !m.mapped8(addr) {
+		return 0, &AccessError{Kind: Unmapped, Addr: addr, Size: 8}
+	}
+	if idx := addr / PageSize; idx == m.rIdx && m.rPage != nil {
+		return binary.LittleEndian.Uint64(m.rPage[addr&(PageSize-1):]), nil
+	}
+	return m.read8Slow(addr)
+}
+
+func (m *Memory) read8Slow(addr uint64) (uint64, error) {
+	p := m.readPage(addr)
+	if p == nil {
+		return 0, nil // untouched page reads as zero; nothing to cache
+	}
+	m.rIdx, m.rPage = addr/PageSize, p
+	return binary.LittleEndian.Uint64(p[addr&(PageSize-1):]), nil
 }
 
 // Write8 stores a 64-bit little-endian word.
 func (m *Memory) Write8(addr, val uint64) error {
-	if err := m.check(addr, 8, true); err != nil {
-		return err
+	if addr&7 != 0 {
+		return &AccessError{Kind: Misaligned, Addr: addr, Size: 8, Write: true}
 	}
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], val)
-	m.rawWrite(addr, b[:])
+	if !m.mapped8(addr) {
+		return &AccessError{Kind: Unmapped, Addr: addr, Size: 8, Write: true}
+	}
+	p := m.wPage
+	if idx := addr / PageSize; idx != m.wIdx || p == nil {
+		p = m.writablePage(addr)
+	}
+	binary.LittleEndian.PutUint64(p[addr&(PageSize-1):], val)
 	return nil
 }
 

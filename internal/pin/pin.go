@@ -161,16 +161,20 @@ func (a *Analysis) ProfileRun(cfg vm.Config, maxInstrs uint64) (*Profile, error)
 		return nil, err
 	}
 	prof := &Profile{Counts: make([]uint64, len(a.prog.Instrs))}
-	for !m.Halted {
-		if prof.Total >= maxInstrs {
-			return nil, fmt.Errorf("pin: profiling exceeded budget of %d instructions", maxInstrs)
-		}
-		pc := m.PC
-		if err := m.Step(); err != nil {
-			return nil, fmt.Errorf("pin: fault-free run trapped: %w", err)
-		}
-		prof.Counts[(pc-isa.CodeBase)/isa.InstrBytes]++
-		prof.Total++
+	stop := vm.Drive(m, maxInstrs, vm.Hooks{
+		Retired: func(_ *vm.Machine, idx int) bool {
+			prof.Counts[idx]++
+			prof.Total++
+			return false
+		},
+	})
+	switch stop.Reason {
+	case vm.StopHalted:
+		return prof, nil
+	case vm.StopBudget:
+		return nil, fmt.Errorf("pin: profiling exceeded budget of %d instructions", maxInstrs)
+	case vm.StopTrap:
+		return nil, fmt.Errorf("pin: fault-free run trapped: %w", stop.Trap)
 	}
-	return prof, nil
+	return nil, fmt.Errorf("pin: fault-free run trapped: %w", stop.Err)
 }

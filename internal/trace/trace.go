@@ -81,17 +81,30 @@ func (r *Ring) Step(m *vm.Machine) error {
 }
 
 // RunTraced runs the machine to completion (or trap/budget) with history
-// recording, returning the run error.
+// recording, returning the run error. Recording is a Retired-hook
+// configuration of the shared vm driver: only successfully retired
+// instructions enter the ring, reconstructed from their static index.
 func RunTraced(m *vm.Machine, ring *Ring, maxInstrs uint64) error {
-	for !m.Halted {
-		if m.Retired >= maxInstrs {
-			return vm.ErrBudget
-		}
-		if err := ring.Step(m); err != nil {
-			return err
-		}
+	prog := m.Prog
+	stop := vm.Drive(m, maxInstrs, vm.Hooks{
+		Retired: func(m *vm.Machine, idx int) bool {
+			ring.Record(Entry{
+				Seq:   m.Retired - 1,
+				PC:    isa.CodeBase + uint64(idx)*isa.InstrBytes,
+				Instr: prog.Instrs[idx],
+			})
+			return false
+		},
+	})
+	switch stop.Reason {
+	case vm.StopHalted:
+		return nil
+	case vm.StopBudget:
+		return vm.ErrBudget
+	case vm.StopTrap:
+		return stop.Trap
 	}
-	return nil
+	return stop.Err
 }
 
 // CrashReport renders a post-mortem: the trap, a register dump, the

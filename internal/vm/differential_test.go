@@ -1,0 +1,232 @@
+package vm_test
+
+// Differential test of the two execution paths: the reference Step
+// interpreter (architectural semantics, one giant switch) against the
+// predecoded Drive fast path. Any state a program can observe — integer
+// and float registers, PC, retirement count, halt flag, every byte of
+// data memory, program output, and the identity of the first trap — must
+// be identical between the two, for randomized instruction soups and for
+// every built-in benchmark app.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// outcome captures everything observable about one finished execution.
+type outcome struct {
+	kind    string // "halt" | "budget" | "trap" | "err"
+	trapMsg string // trap.Error() when kind == "trap"
+	err     string
+	state   []byte // serialized Snapshot: registers, PC, retired, memory
+	output  []byte
+}
+
+// runStep executes m with the reference Step loop, using the same
+// halt-before-budget tie-break as vm.Drive.
+func runStep(m *vm.Machine, budget uint64) (string, string, string) {
+	for {
+		if m.Halted {
+			return "halt", "", ""
+		}
+		if m.Retired >= budget {
+			return "budget", "", ""
+		}
+		if err := m.Step(); err != nil {
+			var t *vm.Trap
+			if errors.As(err, &t) {
+				return "trap", t.Error(), ""
+			}
+			return "err", "", err.Error()
+		}
+	}
+}
+
+// runDrive executes m with the predecoded driver (no hooks installed, so
+// this is the driveFast path).
+func runDrive(m *vm.Machine, budget uint64) (string, string, string) {
+	stop := vm.Drive(m, budget, vm.Hooks{})
+	switch stop.Reason {
+	case vm.StopHalted:
+		return "halt", "", ""
+	case vm.StopBudget:
+		return "budget", "", ""
+	case vm.StopTrap:
+		return "trap", stop.Trap.Error(), ""
+	}
+	return "err", "", stop.Err.Error()
+}
+
+func capture(t *testing.T, prog *isa.Program, budget uint64,
+	run func(*vm.Machine, uint64) (string, string, string)) outcome {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := vm.New(prog, vm.Config{Out: &out})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	kind, trapMsg, errMsg := run(m, budget)
+	var state bytes.Buffer
+	if _, err := m.Checkpoint().WriteTo(&state); err != nil {
+		t.Fatalf("serializing state: %v", err)
+	}
+	return outcome{kind: kind, trapMsg: trapMsg, err: errMsg,
+		state: state.Bytes(), output: out.Bytes()}
+}
+
+func diffOutcomes(t *testing.T, label string, ref, fast outcome) {
+	t.Helper()
+	if ref.kind != fast.kind {
+		t.Errorf("%s: stop kind: Step=%q Drive=%q (trap %q vs %q)",
+			label, ref.kind, fast.kind, ref.trapMsg, fast.trapMsg)
+		return
+	}
+	if ref.trapMsg != fast.trapMsg {
+		t.Errorf("%s: trap: Step=%q Drive=%q", label, ref.trapMsg, fast.trapMsg)
+	}
+	if ref.err != fast.err {
+		t.Errorf("%s: error: Step=%q Drive=%q", label, ref.err, fast.err)
+	}
+	if !bytes.Equal(ref.output, fast.output) {
+		t.Errorf("%s: program output differs (%d vs %d bytes)",
+			label, len(ref.output), len(fast.output))
+	}
+	if !bytes.Equal(ref.state, fast.state) {
+		t.Errorf("%s: architectural state differs (registers/PC/retired/memory)", label)
+	}
+}
+
+// randomProgram builds a syntactically valid instruction soup: every
+// opcode can appear, branch/call targets stay inside the code segment,
+// and a register-seeding prologue plants pointers into globals, the heap
+// and the stack so memory traffic hits both mapped and unmapped space.
+// Traps, hangs (cut by budget) and clean halts are all expected outcomes.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	n := 32 + rng.Intn(224)
+	instrs := make([]isa.Instruction, 0, n+10)
+
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(isa.NumIntRegs)) }
+	// Prologue: seed a few registers with usable addresses and values.
+	seeds := []int64{
+		int64(isa.GlobalBase), int64(isa.GlobalBase + 512),
+		int64(isa.HeapBase), int64(isa.HeapBase + 1024),
+		rng.Int63n(1 << 20), rng.Int63n(64) - 32,
+	}
+	for _, s := range seeds {
+		instrs = append(instrs, isa.Instruction{Op: isa.LI, Rd: reg(), Imm: s})
+	}
+
+	codeAddr := func(max int) int64 {
+		return int64(isa.CodeBase) + int64(rng.Intn(max))*int64(isa.InstrBytes)
+	}
+	pool := []isa.Op{
+		isa.NOP, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND,
+		isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.ADDI, isa.MULI, isa.ANDI,
+		isa.MOV, isa.NEG, isa.NOT, isa.LI, isa.SEQ, isa.SNE, isa.SLT,
+		isa.SLE, isa.FEQ, isa.FNE, isa.FLT, isa.FLE, isa.LD, isa.ST,
+		isa.FLD, isa.FST, isa.PUSH, isa.POP, isa.CALL, isa.RET, isa.JMP,
+		isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.FADD, isa.FSUB, isa.FMUL,
+		isa.FDIV, isa.FMIN, isa.FMAX, isa.FMOV, isa.FNEG, isa.FABS,
+		isa.FSQRT, isa.FLI, isa.I2F, isa.F2I, isa.PRINTI, isa.PRINTF,
+		isa.CYCLES, isa.HALT, isa.ABORT,
+	}
+	total := len(instrs) + n + 1 // final length including the trailing HALT
+	for len(instrs) < total-1 {
+		op := pool[rng.Intn(len(pool))]
+		switch op {
+		case isa.HALT, isa.ABORT:
+			// Keep terminators rare so programs run for a while.
+			if rng.Intn(16) != 0 {
+				continue
+			}
+		case isa.RET:
+			if rng.Intn(4) != 0 {
+				continue
+			}
+		default:
+		}
+		in := isa.Instruction{Op: op, Rd: reg(), Rs1: reg(), Rs2: reg()}
+		switch op {
+		case isa.ADDI, isa.MULI, isa.ANDI, isa.LI:
+			in.Imm = rng.Int63n(1<<12) - (1 << 11)
+		case isa.LD, isa.ST, isa.FLD, isa.FST:
+			// Aligned small displacement; validity depends on the base
+			// register's runtime value, so both fault and success occur.
+			in.Imm = int64(rng.Intn(64)) * 8
+		case isa.JMP, isa.CALL, isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			in.Imm = codeAddr(total)
+		case isa.FLI:
+			in = in.WithFloat(rng.NormFloat64() * 100)
+		default:
+		}
+		instrs = append(instrs, in)
+	}
+	instrs = append(instrs, isa.Instruction{Op: isa.HALT})
+
+	return &isa.Program{
+		Instrs:  instrs,
+		Entry:   isa.CodeBase,
+		Globals: 1024,
+		Data:    []isa.DataSpan{{Addr: isa.GlobalBase, Bytes: bytes.Repeat([]byte{0x5a}, 64)}},
+	}
+}
+
+// TestDifferentialRandomPrograms runs randomized instruction soups on
+// both execution paths and requires byte-identical outcomes.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1e760))
+	const (
+		programs = 300
+		budget   = 20_000
+	)
+	stops := map[string]int{}
+	for i := 0; i < programs; i++ {
+		prog := randomProgram(rng)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("program %d invalid: %v", i, err)
+		}
+		ref := capture(t, prog, budget, runStep)
+		fast := capture(t, prog, budget, runDrive)
+		diffOutcomes(t, "program", ref, fast)
+		if t.Failed() {
+			t.Fatalf("program %d diverged (seed fixed; rerun reproduces)", i)
+		}
+		stops[ref.kind]++
+	}
+	// The generator must actually exercise all three interesting endings;
+	// a generator drifting into all-traps (or all-halts) would silently
+	// gut the test's coverage.
+	for _, kind := range []string{"halt", "budget", "trap"} {
+		if stops[kind] == 0 {
+			t.Errorf("no random program ended with %q (distribution: %v)", kind, stops)
+		}
+	}
+}
+
+// TestDifferentialAllApps runs every built-in benchmark app to completion
+// on both execution paths and requires byte-identical outcomes.
+func TestDifferentialAllApps(t *testing.T) {
+	const budget = 50_000_000
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := app.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ref := capture(t, prog, budget, runStep)
+			fast := capture(t, prog, budget, runDrive)
+			if ref.kind != "halt" {
+				t.Fatalf("app did not halt under reference Step: %s %s", ref.kind, ref.trapMsg)
+			}
+			diffOutcomes(t, app.Name, ref, fast)
+		})
+	}
+}

@@ -1,0 +1,387 @@
+// The dispatch core: one driver, Drive, executes a machine over the
+// program's predecoded instruction array (isa.Program.Decoded) and is the
+// single execution loop every layer of the stack configures with hooks —
+// the debugger's breakpoints and signal dispositions, LetGo's trap
+// supervision, pin's profiling, the engine's golden recording and
+// retired-count positioning all compile down to Hooks over this driver.
+//
+// Step (vm.go) remains the architectural-semantics reference
+// implementation: the fast path below must retire every instruction with
+// effects indistinguishable from Step's, which the dispatch-equivalence
+// differential tests enforce instruction by instruction.
+package vm
+
+import (
+	"math"
+
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// Hooks are the composable per-instruction observation points a caller
+// installs on Drive. All hooks are optional; with Before and Retired nil,
+// Drive runs the bare predecoded dispatch loop with no per-instruction
+// callback work at all (the Trap hook costs nothing until a trap fires).
+type Hooks struct {
+	// Before runs before the instruction at the current PC executes
+	// (breakpoint checks, injection-site matching). Returning true stops
+	// the driver with StopBefore, leaving the instruction unexecuted.
+	Before func(m *Machine) bool
+	// Retired runs after an instruction retires; idx is the static index
+	// of the retired instruction (its address is isa.CodeBase +
+	// idx*isa.InstrBytes). The machine state is fully committed when it
+	// runs, so it may fork waypoints. Returning true stops the driver
+	// with StopRetired.
+	Retired func(m *Machine, idx int) bool
+	// Trap runs when an instruction raises a machine exception, after the
+	// machine's OnTrap observer. State is uncommitted: PC still points at
+	// the faulting instruction. Returning true resumes execution (the
+	// hook has repaired state, e.g. advanced the PC past the fault);
+	// returning false stops the driver with StopTrap.
+	Trap func(m *Machine, t *Trap) bool
+}
+
+// StopReason classifies why Drive returned.
+type StopReason uint8
+
+// Drive stop reasons.
+const (
+	StopHalted  StopReason = iota // program executed HALT (or was already halted)
+	StopBudget                    // retired-instruction budget reached
+	StopTrap                      // machine exception the Trap hook did not resume
+	StopBefore                    // Before hook stopped the driver
+	StopRetired                   // Retired hook stopped the driver
+	StopError                     // non-trap machine error (see Stop.Err)
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalted:
+		return "halted"
+	case StopBudget:
+		return "budget"
+	case StopTrap:
+		return "trap"
+	case StopBefore:
+		return "before"
+	case StopRetired:
+		return "retired"
+	case StopError:
+		return "error"
+	}
+	return "stop?"
+}
+
+// Stop is Drive's result.
+type Stop struct {
+	Reason StopReason
+	Trap   *Trap // the unresumed exception, for StopTrap
+	Err    error // the machine error, for StopError
+}
+
+// Drive executes m until it halts, its absolute retired-instruction count
+// reaches budget, a hook stops it, or an exception goes unresumed. Halt
+// wins ties with the budget (a program that halts on exactly its last
+// budgeted instruction has not hung), and the budget is checked before
+// each instruction executes — both exactly as vm.Run always behaved.
+//
+// With no Before/Retired hooks installed the driver runs driveFast, the
+// predecoded dispatch loop; otherwise it steps through the reference
+// Step so every hook observes fully synchronized architectural state.
+func Drive(m *Machine, budget uint64, h Hooks) Stop {
+	if h.Before == nil && h.Retired == nil {
+		return driveFast(m, budget, h.Trap)
+	}
+	return driveHooked(m, budget, h)
+}
+
+// driveHooked is the instrumented path: per-instruction hooks observe the
+// machine through the reference Step, which keeps PC/Retired committed at
+// every observation point (a Retired hook may Fork the machine).
+func driveHooked(m *Machine, budget uint64, h Hooks) Stop {
+	for {
+		if m.Halted {
+			return Stop{Reason: StopHalted}
+		}
+		if m.Retired >= budget {
+			return Stop{Reason: StopBudget}
+		}
+		if h.Before != nil && h.Before(m) {
+			return Stop{Reason: StopBefore}
+		}
+		pc := m.PC
+		if err := m.Step(); err != nil {
+			if t, ok := err.(*Trap); ok {
+				if h.Trap != nil && h.Trap(m, t) {
+					continue
+				}
+				return Stop{Reason: StopTrap, Trap: t}
+			}
+			return Stop{Reason: StopError, Err: err}
+		}
+		if h.Retired != nil {
+			// pc was a valid code address (Step fetched through it), so the
+			// index is exact.
+			idx := int((pc - isa.CodeBase) / isa.InstrBytes)
+			if h.Retired(m, idx) {
+				return Stop{Reason: StopRetired}
+			}
+		}
+	}
+}
+
+// driveFast is the bare dispatch loop: PC and the retirement counter live
+// in locals, instructions come from the shared predecoded array, and the
+// only per-instruction overhead beyond the opcode's own work is the
+// budget check and the fetch-range test. Machine state is flushed back
+// only at stop points (halt, budget, trap), which is sound because no
+// hook can observe the machine mid-run.
+//
+// Trap semantics match Step exactly: a faulting instruction commits
+// nothing, the flushed PC points at it, OnTrap observes the exception,
+// and the optional trap hook either repairs-and-resumes or stops.
+func driveFast(m *Machine, budget uint64, onTrap func(*Machine, *Trap) bool) Stop {
+	code := m.Prog.Decoded()
+	instrs := m.Prog.Instrs
+	x := &m.X
+	f := &m.F
+
+restart:
+	if m.Halted {
+		return Stop{Reason: StopHalted}
+	}
+	pc := m.PC
+	retired := m.Retired
+	for {
+		if retired >= budget {
+			m.PC, m.Retired = pc, retired
+			return Stop{Reason: StopBudget}
+		}
+		off := pc - isa.CodeBase
+		idx := off / isa.InstrBytes
+		if off%isa.InstrBytes != 0 || idx >= uint64(len(code)) {
+			m.PC, m.Retired = pc, retired
+			t := &Trap{Signal: SIGSEGV, PC: pc, Fetch: true}
+			if m.OnTrap != nil {
+				m.OnTrap(t)
+			}
+			if onTrap != nil && onTrap(m, t) {
+				goto restart
+			}
+			return Stop{Reason: StopTrap, Trap: t}
+		}
+		in := &code[idx]
+		next := pc + isa.InstrBytes
+		var tr *Trap
+
+		// The dispatch table. Exhaustive over isa.Op with no default
+		// clause; invalid opcodes cannot reach here because New validates
+		// the program image.
+		//opcheck:exhaustive
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			m.PC, m.Retired = next, retired+1
+			m.Halted = true
+			return Stop{Reason: StopHalted}
+		case isa.ABORT:
+			tr = &Trap{Signal: SIGABRT}
+
+		case isa.ADD:
+			x[in.Rd] = x[in.Rs1] + x[in.Rs2]
+		case isa.SUB:
+			x[in.Rd] = x[in.Rs1] - x[in.Rs2]
+		case isa.MUL:
+			x[in.Rd] = x[in.Rs1] * x[in.Rs2]
+		case isa.DIV:
+			if x[in.Rs2] == 0 {
+				tr = &Trap{Signal: SIGFPE}
+			} else {
+				x[in.Rd] = uint64(int64(x[in.Rs1]) / int64(x[in.Rs2]))
+			}
+		case isa.REM:
+			if x[in.Rs2] == 0 {
+				tr = &Trap{Signal: SIGFPE}
+			} else {
+				x[in.Rd] = uint64(int64(x[in.Rs1]) % int64(x[in.Rs2]))
+			}
+		case isa.AND:
+			x[in.Rd] = x[in.Rs1] & x[in.Rs2]
+		case isa.OR:
+			x[in.Rd] = x[in.Rs1] | x[in.Rs2]
+		case isa.XOR:
+			x[in.Rd] = x[in.Rs1] ^ x[in.Rs2]
+		case isa.SHL:
+			x[in.Rd] = x[in.Rs1] << (x[in.Rs2] & 63)
+		case isa.SHR:
+			x[in.Rd] = x[in.Rs1] >> (x[in.Rs2] & 63)
+
+		case isa.ADDI:
+			x[in.Rd] = x[in.Rs1] + in.U
+		case isa.MULI:
+			x[in.Rd] = x[in.Rs1] * in.U
+		case isa.ANDI:
+			x[in.Rd] = x[in.Rs1] & in.U
+
+		case isa.MOV:
+			x[in.Rd] = x[in.Rs1]
+		case isa.NEG:
+			x[in.Rd] = -x[in.Rs1]
+		case isa.NOT:
+			x[in.Rd] = ^x[in.Rs1]
+		case isa.LI:
+			x[in.Rd] = in.U
+
+		case isa.SEQ:
+			x[in.Rd] = b2u(x[in.Rs1] == x[in.Rs2])
+		case isa.SNE:
+			x[in.Rd] = b2u(x[in.Rs1] != x[in.Rs2])
+		case isa.SLT:
+			x[in.Rd] = b2u(int64(x[in.Rs1]) < int64(x[in.Rs2]))
+		case isa.SLE:
+			x[in.Rd] = b2u(int64(x[in.Rs1]) <= int64(x[in.Rs2]))
+
+		case isa.FEQ:
+			x[in.Rd] = b2u(f[in.Rs1] == f[in.Rs2])
+		case isa.FNE:
+			x[in.Rd] = b2u(f[in.Rs1] != f[in.Rs2])
+		case isa.FLT:
+			x[in.Rd] = b2u(f[in.Rs1] < f[in.Rs2])
+		case isa.FLE:
+			x[in.Rd] = b2u(f[in.Rs1] <= f[in.Rs2])
+
+		case isa.LD:
+			v, err := m.Mem.Read8(x[in.Rs1] + in.U)
+			if err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				x[in.Rd] = v
+			}
+		case isa.ST:
+			if err := m.Mem.Write8(x[in.Rs1]+in.U, x[in.Rs2]); err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			}
+		case isa.FLD:
+			v, err := m.Mem.ReadFloat(x[in.Rs1] + in.U)
+			if err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				f[in.Rd] = v
+			}
+		case isa.FST:
+			if err := m.Mem.WriteFloat(x[in.Rs1]+in.U, f[in.Rs2]); err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			}
+
+		case isa.PUSH:
+			sp := x[isa.SP] - 8
+			if err := m.Mem.Write8(sp, x[in.Rs1]); err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				x[isa.SP] = sp
+			}
+		case isa.POP:
+			v, err := m.Mem.Read8(x[isa.SP])
+			if err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				x[in.Rd] = v
+				x[isa.SP] += 8
+			}
+		case isa.CALL:
+			sp := x[isa.SP] - 8
+			if err := m.Mem.Write8(sp, next); err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				x[isa.SP] = sp
+				next = in.U
+			}
+		case isa.RET:
+			ra, err := m.Mem.Read8(x[isa.SP])
+			if err != nil {
+				sig, ae := accessSignal(err)
+				tr = &Trap{Signal: sig, Access: ae}
+			} else {
+				x[isa.SP] += 8
+				next = ra
+			}
+
+		case isa.JMP:
+			next = in.U
+		case isa.BEQ:
+			if x[in.Rs1] == x[in.Rs2] {
+				next = in.U
+			}
+		case isa.BNE:
+			if x[in.Rs1] != x[in.Rs2] {
+				next = in.U
+			}
+		case isa.BLT:
+			if int64(x[in.Rs1]) < int64(x[in.Rs2]) {
+				next = in.U
+			}
+		case isa.BGE:
+			if int64(x[in.Rs1]) >= int64(x[in.Rs2]) {
+				next = in.U
+			}
+
+		case isa.FADD:
+			f[in.Rd] = f[in.Rs1] + f[in.Rs2]
+		case isa.FSUB:
+			f[in.Rd] = f[in.Rs1] - f[in.Rs2]
+		case isa.FMUL:
+			f[in.Rd] = f[in.Rs1] * f[in.Rs2]
+		case isa.FDIV:
+			f[in.Rd] = f[in.Rs1] / f[in.Rs2] // IEEE semantics: Inf/NaN, no trap
+		case isa.FMIN:
+			f[in.Rd] = math.Min(f[in.Rs1], f[in.Rs2])
+		case isa.FMAX:
+			f[in.Rd] = math.Max(f[in.Rs1], f[in.Rs2])
+
+		case isa.FMOV:
+			f[in.Rd] = f[in.Rs1]
+		case isa.FNEG:
+			f[in.Rd] = -f[in.Rs1]
+		case isa.FABS:
+			f[in.Rd] = math.Abs(f[in.Rs1])
+		case isa.FSQRT:
+			f[in.Rd] = math.Sqrt(f[in.Rs1])
+
+		case isa.FLI:
+			f[in.Rd] = in.F
+
+		case isa.I2F:
+			f[in.Rd] = float64(int64(x[in.Rs1]))
+		case isa.F2I:
+			x[in.Rd] = f2i(f[in.Rs1])
+
+		case isa.PRINTI:
+			m.print("%d\n", int64(x[in.Rs1]))
+		case isa.PRINTF:
+			m.print("%.17g\n", f[in.Rs1])
+		case isa.CYCLES:
+			x[in.Rd] = retired
+		}
+
+		if tr != nil {
+			m.PC, m.Retired = pc, retired
+			tr.PC = pc
+			tr.Instr = instrs[idx]
+			if m.OnTrap != nil {
+				m.OnTrap(tr)
+			}
+			if onTrap != nil && onTrap(m, tr) {
+				goto restart
+			}
+			return Stop{Reason: StopTrap, Trap: tr}
+		}
+		pc = next
+		retired++
+	}
+}

@@ -186,6 +186,8 @@ func (m *Machine) Step() error {
 	x := &m.X
 	f := &m.F
 
+	//opcheck:exhaustive — the default below is a can't-happen trap, not an
+	// implementation; every opcode must have an explicit case.
 	switch in.Op {
 	case isa.NOP:
 	case isa.HALT:
@@ -400,17 +402,19 @@ func b2u(b bool) uint64 {
 // Run executes until HALT, a trap, or maxInstrs retired instructions.
 // A nil return means the program halted normally. ErrBudget means the
 // budget ran out (hang by the campaign's definition); a *Trap means a
-// crash-causing signal was raised.
+// crash-causing signal was raised. Run is the bare-loop configuration of
+// Drive: no hooks, predecoded dispatch.
 func (m *Machine) Run(maxInstrs uint64) error {
-	for !m.Halted {
-		if m.Retired >= maxInstrs {
-			return ErrBudget
-		}
-		if err := m.Step(); err != nil {
-			return err
-		}
+	stop := Drive(m, maxInstrs, Hooks{})
+	switch stop.Reason {
+	case StopHalted:
+		return nil
+	case StopBudget:
+		return ErrBudget
+	case StopTrap:
+		return stop.Trap
 	}
-	return nil
+	return stop.Err
 }
 
 // Fork returns an isolated copy-on-write clone of the machine: registers,

@@ -5,6 +5,13 @@
 // is exactly the class of bug that produces wrong campaign numbers rather
 // than crashes, so it is enforced mechanically.
 //
+// A switch annotated with an //opcheck:exhaustive comment (on the switch
+// line or the line above) must enumerate every opcode even when it has a
+// default clause — the annotation for dispatch cores whose default exists
+// only as a can't-happen trap (vm.Step, the predecoded driveFast table):
+// without it, adding an opcode would silently route the new instruction
+// to the trap instead of an implementation.
+//
 // The tool speaks cmd/go's unitchecker protocol with only the standard
 // library: it answers -V=full and -flags, and otherwise receives a JSON
 // *.cfg file describing one package unit (file list, import map, export
@@ -118,7 +125,7 @@ func run(cfgPath string) (int, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, 0)
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
 				return 0, nil
@@ -183,11 +190,35 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// checkOpSwitches reports every switch whose tag has type isa.Op, has no
-// default clause, and does not cover all defined opcodes.
+// exhaustiveMarker is the comment directive that subjects a switch to the
+// full-enumeration rule regardless of its default clause.
+const exhaustiveMarker = "opcheck:exhaustive"
+
+// markedLines collects the file lines bearing the exhaustive marker; a
+// switch is marked when the directive sits on its own line or the line
+// directly above it.
+func markedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, exhaustiveMarker) {
+				if lines == nil {
+					lines = map[int]bool{}
+				}
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checkOpSwitches reports every switch whose tag has type isa.Op and does
+// not cover all defined opcodes — either because it has no default clause,
+// or because it carries the //opcheck:exhaustive directive.
 func checkOpSwitches(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) []string {
 	var diags []string
 	for _, f := range files {
+		marked := markedLines(fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			sw, ok := n.(*ast.SwitchStmt)
 			if !ok || sw.Tag == nil {
@@ -197,11 +228,16 @@ func checkOpSwitches(fset *token.FileSet, files []*ast.File, info *types.Info, p
 			if opType == nil {
 				return true
 			}
+			line := fset.Position(sw.Pos()).Line
+			exhaustive := marked[line] || marked[line-1]
 			covered := map[int64]bool{}
 			for _, stmt := range sw.Body.List {
 				clause := stmt.(*ast.CaseClause)
 				if clause.List == nil {
-					return true // default clause: exhaustive by construction
+					if !exhaustive {
+						return true // default clause: exhaustive by construction
+					}
+					continue // marked: the default does not count as coverage
 				}
 				for _, e := range clause.List {
 					tv := info.Types[e]
@@ -215,9 +251,13 @@ func checkOpSwitches(fset *token.FileSet, files []*ast.File, info *types.Info, p
 			}
 			missing := missingOps(opType, covered)
 			if len(missing) > 0 {
+				why := "has no default clause and"
+				if exhaustive {
+					why = "is marked " + exhaustiveMarker + " and"
+				}
 				diags = append(diags, fmt.Sprintf(
-					"%s: switch over %s.Op has no default clause and misses: %s",
-					fset.Position(sw.Pos()), opType.Obj().Pkg().Name(), summarize(missing)))
+					"%s: switch over %s.Op %s misses: %s",
+					fset.Position(sw.Pos()), opType.Obj().Pkg().Name(), why, summarize(missing)))
 			}
 			return true
 		})

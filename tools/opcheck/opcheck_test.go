@@ -56,3 +56,21 @@ func TestFlagsNonExhaustiveSwitch(t *testing.T) {
 		t.Fatalf("diagnostic should name missing opcodes:\n%s", out)
 	}
 }
+
+// TestFlagsMarkedSwitchDespiteDefault checks the //opcheck:exhaustive
+// directive: a gappy switch with a default clause — normally exempt — is
+// still flagged when marked. This is what keeps the Step and driveFast
+// dispatch cores honest as the ISA grows.
+func TestFlagsMarkedSwitchDespiteDefault(t *testing.T) {
+	tool := buildTool(t)
+	out, err := runVet(t, tool, "./tools/opcheck/testdata/markedswitch")
+	if err == nil {
+		t.Fatalf("expected vet failure on markedswitch fixture, got success:\n%s", out)
+	}
+	if !strings.Contains(out, "is marked opcheck:exhaustive") {
+		t.Fatalf("missing directive diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(out, "ADD") {
+		t.Fatalf("diagnostic should name missing opcodes:\n%s", out)
+	}
+}

@@ -1,0 +1,21 @@
+// Package markedswitch is a fixture for opcheck's directive test: Dispatch
+// has a default clause — which normally exempts a switch — but carries the
+// //opcheck:exhaustive marker, so opcheck must still flag the missing
+// opcodes. The package is under testdata, so ./... never builds it; only
+// the test references it by explicit path.
+package markedswitch
+
+import "github.com/letgo-hpc/letgo/internal/isa"
+
+// Dispatch misses most opcodes behind a default clause.
+func Dispatch(op isa.Op) string {
+	//opcheck:exhaustive
+	switch op {
+	case isa.NOP:
+		return "nop"
+	case isa.HALT:
+		return "halt"
+	default:
+		return "other"
+	}
+}

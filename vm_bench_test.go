@@ -1,0 +1,152 @@
+// VM dispatch benchmarks: the reference Step interpreter (fetch + decode
+// + giant switch per instruction) against the predecoded Drive fast path
+// (decode-once program image, dense dispatch loop), executing the same
+// app to completion. Each variant merges its headline numbers into
+// BENCH_vm.json at the repo root; the drive entry records its speedup
+// over the step entry once both exist:
+//
+//	go test -bench BenchmarkVMDispatch -benchtime 3x .
+package letgo
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// vmBenchApp is the dispatch workload: CLAMR is the campaign workhorse
+// (see BENCH_engine.json), so its instruction mix is the one the
+// injection engines actually pay for.
+const vmBenchApp = "CLAMR"
+
+// vmBenchEntry is one benchmark record in BENCH_vm.json.
+type vmBenchEntry struct {
+	App     string  `json:"app"`
+	Variant string  `json:"variant"` // "step" (reference) | "drive" (predecoded)
+	NsPerOp float64 `json:"ns_per_op"`
+	Instrs  uint64  `json:"instrs"` // retired instructions per op
+	MIPS    float64 `json:"minstrs_per_sec"`
+	// SpeedupVsStep is filled on the drive entry when the matching step
+	// entry exists (ISSUE 4 requires >= 1.5).
+	SpeedupVsStep float64 `json:"speedup_vs_step,omitempty"`
+}
+
+// mergeVMBench read-merge-writes one entry into BENCH_vm.json, keyed by
+// (app, variant), recomputing each drive entry's speedup against its
+// step counterpart so the file stays consistent regardless of which
+// variant ran last.
+func mergeVMBench(b *testing.B, e vmBenchEntry) {
+	b.Helper()
+	const path = "BENCH_vm.json"
+	var entries []vmBenchEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			b.Logf("ignoring unparsable %s: %v", path, err)
+			entries = nil
+		}
+	}
+	replaced := false
+	for i, old := range entries {
+		if old.App == e.App && old.Variant == e.Variant {
+			entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, e)
+	}
+	step := map[string]float64{}
+	for _, en := range entries {
+		if en.Variant == "step" {
+			step[en.App] = en.NsPerOp
+		}
+	}
+	for i := range entries {
+		if entries[i].Variant == "drive" && step[entries[i].App] > 0 {
+			entries[i].SpeedupVsStep = step[entries[i].App] / entries[i].NsPerOp
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// runStepLoop is the pre-refactor execution loop: per-instruction fetch,
+// operand decode and switch dispatch through vm.Step, with the same
+// halt-before-budget tie-break as vm.Drive.
+func runStepLoop(m *vm.Machine, budget uint64) error {
+	for {
+		if m.Halted {
+			return nil
+		}
+		if m.Retired >= budget {
+			return vm.ErrBudget
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+func benchVMDispatch(b *testing.B, variant string, run func(*vm.Machine, uint64) error) {
+	app, ok := AppByName(vmBenchApp)
+	if !ok {
+		b.Fatalf("unknown app %s", vmBenchApp)
+	}
+	prog, err := app.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 1 << 31
+	var retired uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := vm.New(prog, vm.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run(m, budget); err != nil {
+			b.Fatal(err)
+		}
+		retired = m.Retired
+	}
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	mips := float64(retired) / nsPerOp * 1e3
+	b.ReportMetric(mips, "Minstrs/s")
+	mergeVMBench(b, vmBenchEntry{
+		App: vmBenchApp, Variant: variant,
+		NsPerOp: nsPerOp, Instrs: retired, MIPS: mips,
+	})
+}
+
+// BenchmarkVMDispatch compares the two execution paths on a full app run.
+func BenchmarkVMDispatch(b *testing.B) {
+	b.Run("step", func(b *testing.B) {
+		benchVMDispatch(b, "step", runStepLoop)
+	})
+	b.Run("drive", func(b *testing.B) {
+		benchVMDispatch(b, "drive", func(m *vm.Machine, budget uint64) error {
+			stop := vm.Drive(m, budget, vm.Hooks{})
+			switch stop.Reason {
+			case vm.StopHalted:
+				return nil
+			case vm.StopBudget:
+				return vm.ErrBudget
+			case vm.StopTrap:
+				return stop.Trap
+			}
+			if stop.Err != nil {
+				return stop.Err
+			}
+			return errors.New("unexpected stop")
+		})
+	})
+}
