@@ -8,20 +8,39 @@
 //	letgo-inject -apps LULESH,SNAP -n 2000 -compare     # Figure 5 (B vs E)
 //	letgo-inject -apps hpl -n 2000 -mode E              # Section 8
 //	letgo-inject -apps all -format json                 # machine-readable
+//	letgo-inject -journal c.jsonl -n 2000 ...           # killable
+//	letgo-inject -journal c.jsonl -resume -n 2000 ...   # ...and resumable
+//
+// Exit codes: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
+// results were printed and the journal, if any, supports -resume).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/inject"
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/report"
+	"github.com/letgo-hpc/letgo/internal/resilience"
+)
+
+// Exit codes.
+const (
+	exitOK          = 0
+	exitErr         = 1
+	exitFlags       = 2 // produced by flag.ExitOnError
+	exitInterrupted = 3
 )
 
 // telem holds the optional observability sinks; all-off by default so
@@ -31,6 +50,24 @@ var telem *obs.Sinks
 // engineSel is the -engine flag value, applied to every campaign. Both
 // engines produce identical tables; fork is simply faster.
 var engineSel inject.Engine
+
+// runCtx is cancelled by SIGINT/SIGTERM (and the -deadline timeout);
+// campaigns drain their in-flight injections and return partial results.
+var runCtx context.Context
+
+// journal is the -journal resume journal shared by every campaign of the
+// invocation (keys separate apps and modes); nil without the flag.
+var journal *resilience.Journal
+
+// watchdogSel is the -watchdog per-injection wall-clock bound.
+var watchdogSel time.Duration
+
+// progressTally accumulates completion across the campaigns that ran, for
+// the interrupted banner.
+var progressTally struct {
+	completed, total int
+	interrupted      bool
+}
 
 func main() {
 	appSel := flag.String("apps", "iterative", "comma-separated app names, 'iterative', 'all', 'hpl' or 'extensions'")
@@ -44,6 +81,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
 	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
 	progress := flag.Bool("progress", false, "render live campaign progress on stderr")
+	journalPath := flag.String("journal", "", "append completed injections to this JSONL journal (crash-safe; enables -resume)")
+	resume := flag.Bool("resume", false, "restore completed injections from the -journal file instead of re-executing them")
+	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound; expired injections are quarantined as C-Hang (0 = off)")
+	deadline := flag.Duration("deadline", 0, "whole-invocation wall-clock bound; on expiry campaigns drain and partial results print (0 = off)")
 	flag.Parse()
 
 	format, err := report.ParseFormat(*formatFlag)
@@ -64,13 +105,43 @@ func main() {
 		fatal(err)
 	}
 
+	if *resume && *journalPath == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+	if *journalPath != "" {
+		if *resume {
+			journal, err = resilience.Open(*journalPath)
+		} else {
+			journal, err = resilience.Create(*journalPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	watchdogSel = *watchdog
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	runCtx = ctx
+
 	switch {
 	case *compare:
 		runCompare(sel, *n, *seed, *workers)
 	case format != report.Text:
 		rows := make([]report.CampaignRow, 0, len(sel))
 		for _, a := range sel {
+			if runCtx.Err() != nil {
+				break
+			}
 			r := mustRun(&inject.Campaign{App: a, Mode: modeFromFlag(*mode), N: *n, Seed: *seed, Workers: *workers})
+			if r == nil {
+				break
+			}
 			rows = append(rows, report.Row(r))
 		}
 		if err := report.Campaigns(os.Stdout, format, rows); err != nil {
@@ -82,6 +153,16 @@ func main() {
 	if err := telem.Close(); err != nil {
 		fatal(err)
 	}
+	if progressTally.interrupted || runCtx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "letgo-inject: interrupted: %d/%d injections completed",
+			progressTally.completed, progressTally.total)
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, " (resume with -resume -journal %s)", journal.Path())
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(exitInterrupted)
+	}
+	os.Exit(exitOK)
 }
 
 func modeFromFlag(mode string) inject.Mode {
@@ -128,7 +209,13 @@ func runTable(sel []*apps.App, mode inject.Mode, n int, seed uint64, workers int
 	var agg outcome.Counts
 	var aggLive, aggDead outcome.Counts
 	for _, a := range sel {
+		if runCtx.Err() != nil {
+			break
+		}
 		r := mustRun(&inject.Campaign{App: a, Mode: mode, N: n, Seed: seed, Workers: workers})
+		if r == nil {
+			break
+		}
 		agg.Merge(r.Counts)
 		aggLive.Merge(r.LiveDest)
 		aggDead.Merge(r.DeadDest)
@@ -142,9 +229,10 @@ func runTable(sel []*apps.App, mode inject.Mode, n int, seed uint64, workers int
 
 func row(w *tabwriter.Writer, name string, c *outcome.Counts, m outcome.Metrics, latency string, live, dead *outcome.Counts) {
 	pct := func(cl outcome.Class) string { return fmt.Sprintf("%.2f%%", 100*c.Frac(cl)) }
-	crash := float64(c.CrashTotal()) / float64(c.N)
+	crash := 0.0
 	deadFrac := 0.0
 	if c.N > 0 {
+		crash = float64(c.CrashTotal()) / float64(c.N)
 		deadFrac = float64(dead.N) / float64(c.N)
 	}
 	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.2f%%\t%.2f%%\t%s\t%.2f%%\t%.2f%%\t%.2f%%\n",
@@ -161,7 +249,13 @@ func runCompare(sel []*apps.App, n int, seed uint64, workers int) {
 	fmt.Fprintf(w, "Benchmark\tMode\tContinuability\tContinued_detected\tContinued_correct\tContinued_SDC\n")
 	for _, a := range sel {
 		for _, mode := range []inject.Mode{inject.LetGoB, inject.LetGoE} {
+			if runCtx.Err() != nil {
+				break
+			}
 			r := mustRun(&inject.Campaign{App: a, Mode: mode, N: n, Seed: seed, Workers: workers})
+			if r == nil {
+				break
+			}
 			m := r.Metrics
 			fmt.Fprintf(w, "%s\t%v\t%.3f\t%.3f\t%.3f\t%.3f\n",
 				a.Name, mode, m.Continuability, m.ContinuedDetected, m.ContinuedCorrect, m.ContinuedSDC)
@@ -172,18 +266,33 @@ func runCompare(sel []*apps.App, n int, seed uint64, workers int) {
 
 func mustRun(c *inject.Campaign) *inject.Result {
 	c.Engine = engineSel
+	c.Journal = journal
+	c.Watchdog = watchdogSel
 	if telem.Enabled() {
 		c.Obs = telem.Hub
 		c.Observer = inject.NewObsObserver(c.App.Name, c.N, telem.Hub, telem.Progress)
 	}
-	r, err := c.Run()
+	r, err := c.RunContext(runCtx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The signal (or -deadline) landed before this campaign's
+		// injection phase: nothing to render, count the whole campaign
+		// as outstanding.
+		progressTally.total += c.N
+		progressTally.interrupted = true
+		return nil
+	}
 	if err != nil {
 		fatal(err)
+	}
+	progressTally.completed += r.Completed
+	progressTally.total += r.N
+	if r.Interrupted {
+		progressTally.interrupted = true
 	}
 	return r
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "letgo-inject:", err)
-	os.Exit(1)
+	os.Exit(exitErr)
 }

@@ -13,10 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	letgo "github.com/letgo-hpc/letgo"
 	"github.com/letgo-hpc/letgo/internal/apps"
@@ -24,6 +29,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/inject"
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/report"
+	"github.com/letgo-hpc/letgo/internal/resilience"
 	"github.com/letgo-hpc/letgo/internal/stats"
 )
 
@@ -47,6 +53,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
 	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
 	progress := flag.Bool("progress", false, "render live simulation progress on stderr")
+	journalPath := flag.String("journal", "", "journal for -seed-source measured campaigns (crash-safe JSONL; enables -resume)")
+	resume := flag.Bool("resume", false, "restore completed injections from the -journal file instead of re-executing them")
+	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound for measured campaigns (0 = off)")
 	flag.Parse()
 
 	format, err := report.ParseFormat(*formatFlag)
@@ -58,8 +67,29 @@ func main() {
 		fatal(err)
 	}
 
-	probs, err := resolveProbabilities(*seedSource, *appName, *n, *seed)
+	if *resume && *journalPath == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+	var journal *resilience.Journal
+	if *journalPath != "" {
+		if *resume {
+			journal, err = resilience.Open(*journalPath)
+		} else {
+			journal, err = resilience.Create(*journalPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	probs, err := resolveProbabilities(ctx, *seedSource, *appName, *n, *seed, journal, *watchdog)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, errInterrupted) {
+			interrupted(journal)
+		}
 		fatal(err)
 	}
 	var tracer checkpoint.Tracer
@@ -151,7 +181,22 @@ func finish() {
 	}
 }
 
-func resolveProbabilities(source, appName string, n int, seed uint64) (checkpoint.AppProbabilities, error) {
+// errInterrupted marks a measured campaign cut short by SIGINT/SIGTERM:
+// its partial probabilities would not be reproducible, so the simulation
+// is not seeded from them.
+var errInterrupted = errors.New("measured campaign interrupted; rerun with -resume to finish it")
+
+// interrupted prints the resume hint and exits with the interrupted code.
+func interrupted(j *resilience.Journal) {
+	msg := "letgo-sim: interrupted"
+	if j != nil {
+		msg += fmt.Sprintf(" (resume with -resume -journal %s)", j.Path())
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(3)
+}
+
+func resolveProbabilities(ctx context.Context, source, appName string, n int, seed uint64, journal *resilience.Journal, watchdog time.Duration) (checkpoint.AppProbabilities, error) {
 	switch source {
 	case "paper":
 		p, ok := checkpoint.PaperAppByName(appName)
@@ -164,14 +209,20 @@ func resolveProbabilities(source, appName string, n int, seed uint64) (checkpoin
 		if !ok {
 			return checkpoint.AppProbabilities{}, fmt.Errorf("unknown app %q", appName)
 		}
-		c := &inject.Campaign{App: a, Mode: inject.LetGoE, N: n, Seed: seed}
+		c := &inject.Campaign{
+			App: a, Mode: inject.LetGoE, N: n, Seed: seed,
+			Journal: journal, Watchdog: watchdog,
+		}
 		if telem.Enabled() {
 			c.Obs = telem.Hub
 			c.Observer = inject.NewObsObserver(a.Name, n, telem.Hub, telem.Progress)
 		}
-		r, err := c.Run()
+		r, err := c.RunContext(ctx)
 		if err != nil {
 			return checkpoint.AppProbabilities{}, err
+		}
+		if r.Interrupted {
+			return checkpoint.AppProbabilities{}, errInterrupted
 		}
 		return letgo.ProbabilitiesFromCampaign(r)
 	}

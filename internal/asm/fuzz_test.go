@@ -1,0 +1,54 @@
+package asm_test
+
+import (
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/asm"
+	"github.com/letgo-hpc/letgo/internal/lang"
+)
+
+// FuzzAssemble hardens the assembler against arbitrary source text: any
+// input must either assemble into a valid program or fail with an error —
+// never panic, whatever the token soup.
+func FuzzAssemble(f *testing.F) {
+	// Seed with the doc-comment dialect and every benchmark app's real
+	// compiler-emitted assembly.
+	f.Add(`.entry main
+.global buf 4096
+.double pi 3.14 2.71
+.int n 100
+
+main:
+    push bp
+    mov bp, sp
+    addi sp, sp, -32
+    li x1, buf
+    fld f1, [x1+8]
+    beq x1, x2, .done
+.done:
+    pop bp
+    ret
+`)
+	f.Add("main:\n nop\n bogus x1\n halt\n")
+	f.Add("")
+	for _, a := range apps.All() {
+		src, err := lang.CompileToAsm(a.Source)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs are structurally valid and disassemble.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("assembled program fails Validate: %v", err)
+		}
+		_ = asm.Disassemble(p)
+	})
+}

@@ -1,0 +1,111 @@
+// Package atomicio provides crash-safe file output: every write lands in
+// a temporary file in the destination's directory and is renamed over the
+// final path only once it is complete and synced. A process killed
+// mid-write therefore never leaves a truncated result file behind — at
+// worst a stale previous version plus an orphaned *.tmp* file.
+//
+// It is the persistence primitive shared by the campaign journal
+// (internal/resilience) and the observability sinks' -metrics-out and
+// -events-json outputs.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The callback streams into a temp file in path's directory; the file is
+// synced, closed and renamed into place only if the callback succeeds.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := newTemp(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	return commit(f, path)
+}
+
+// File is an open output stream whose contents appear at the final path
+// only on Commit. Until then all bytes live in a temp file next to the
+// destination, so a kill mid-stream never truncates an existing file.
+type File struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Create opens an atomic output stream destined for path. The temp file
+// is created eagerly so permission and path errors surface immediately.
+func Create(path string) (*File, error) {
+	f, err := newTemp(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Write streams bytes into the temp file.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// TempName returns the path of the in-progress temp file (useful for
+// tailing a live stream before it is committed).
+func (a *File) TempName() string { return a.f.Name() }
+
+// Commit syncs the temp file and renames it over the final path.
+func (a *File) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	return commit(a.f, a.path)
+}
+
+// Abort discards the temp file without touching the final path. It is a
+// no-op after Commit.
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// newTemp creates the scratch file in the destination directory, so the
+// final rename never crosses a filesystem boundary.
+func newTemp(path string) (*os.File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return f, nil
+}
+
+// commit finishes f and renames it to path.
+func commit(f *os.File, path string) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new contents")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new contents" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestWriteFileErrorKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-writ") // partial output must be discarded
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old contents clobbered: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "line 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	// The final path must not exist before Commit — a mid-stream kill
+	// leaves only the temp file.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists before commit: %v", err)
+	}
+	if !strings.HasPrefix(filepath.Base(f.TempName()), "stream.jsonl.tmp") {
+		t.Errorf("temp name %q not derived from destination", f.TempName())
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "line 1\n" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "junk")
+	f.Abort()
+	f.Abort() // idempotent
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists after abort: %v", err)
+	}
+	assertNoTemps(t, dir)
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

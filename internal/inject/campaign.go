@@ -1,11 +1,13 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
@@ -15,6 +17,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/resilience"
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -82,15 +85,20 @@ type Execution struct {
 }
 
 // Observer receives campaign lifecycle callbacks: phase boundaries, each
-// sampled plan, each classified injection, and the final result.
-// Implementations must be safe for concurrent use — Executed is called
-// from the campaign's worker goroutines. Observers are strictly passive;
-// campaign results are identical with or without one attached.
+// sampled plan, each classified injection, and the terminal result.
+// Exactly one of Done or Failed ends every campaign, so an observing
+// event stream always carries a close record. Implementations must be
+// safe for concurrent use — Executed is called from the campaign's
+// worker goroutines. Observers are strictly passive; campaign results
+// are identical with or without one attached.
 type Observer interface {
 	Phase(phase string)
 	Planned(index int, plan Plan)
 	Executed(e Execution)
 	Done(res *Result)
+	// Failed reports the campaign aborting with err while in the named
+	// phase ("" if it never reached the compile phase).
+	Failed(phase string, err error)
 }
 
 // Campaign is a fault-injection campaign against one benchmark app: N
@@ -114,7 +122,8 @@ type Campaign struct {
 	// single-bit-flip model.
 	Model FaultModel
 	// Observer, when non-nil, receives lifecycle callbacks (phases, plans,
-	// per-injection outcomes, the final result). Purely observational.
+	// per-injection outcomes, the terminal result or failure). Purely
+	// observational.
 	Observer Observer
 	// Obs optionally threads metric/event sinks into the core and vm
 	// layers of every injected run (trap counts by signal, heuristic
@@ -126,12 +135,35 @@ type Campaign struct {
 	// WaypointEvery overrides the fork engine's waypoint spacing in
 	// retired instructions; 0 means engine.DefaultWaypointEvery.
 	WaypointEvery uint64
+
+	// Journal, when non-nil, persists every classified injection
+	// (chunked, atomic write-temp-rename) and seeds the run with
+	// previously completed work: injections already journaled under this
+	// campaign's key are restored instead of re-executed. Because plans
+	// are seed-derived and classification is engine- and scheduling-
+	// independent, a killed-and-resumed campaign renders byte-identical
+	// tables to an uninterrupted one.
+	Journal *resilience.Journal
+	// Watchdog bounds each injection's wall-clock time. When it expires
+	// the injection is quarantined as C-Hang and the campaign moves on
+	// instead of stalling the worker pool (e.g. on a repair-induced
+	// livelock still inside the retired-instruction budget). 0 disables
+	// the watchdog. Quarantine outcomes are wall-clock-dependent: leave
+	// the watchdog off when byte-reproducibility matters more than
+	// liveness.
+	Watchdog time.Duration
+
+	// beforeInjection, when non-nil, runs inside the supervised worker
+	// body just before plan i executes. It exists so tests can inject
+	// harness faults (panics, stalls) at precise points.
+	beforeInjection func(i int)
 }
 
 // EngineStats describes the execution-substrate work of one campaign.
 // It is diagnostic only: report tables and outcome classifications never
 // depend on it, and it is all zeros for the rerun engine (which has no
-// waypoints, forks nothing, and saves nothing).
+// waypoints, forks nothing, and saves nothing). Quarantined injections
+// drop their step's deltas, so stats may undercount after a quarantine.
 type EngineStats struct {
 	Engine    string // "fork" or "rerun"
 	Waypoints int    // waypoints recorded during the golden run
@@ -174,6 +206,18 @@ type Result struct {
 	// EngineStats reports the substrate's work (forks, pages copied,
 	// instructions saved). Diagnostic only — excluded from report tables.
 	EngineStats EngineStats
+
+	// Completed counts classified injections, including journal-restored
+	// ones; it equals N unless Interrupted.
+	Completed int
+	// Resumed counts injections restored from the journal instead of
+	// re-executed.
+	Resumed int
+	// Interrupted reports that the campaign's context was cancelled
+	// before all N injections classified. Counts then covers only the
+	// Completed injections, and the journal (if any) holds exactly the
+	// state a resumed run needs.
+	Interrupted bool
 }
 
 // MaskedFrac returns the fraction of runs in c that were architecturally
@@ -199,42 +243,67 @@ func (c *Campaign) phase(name string) {
 	}
 }
 
-// Run executes the campaign. It is deterministic for a fixed seed and N,
-// regardless of worker count and of any attached Observer or Obs sinks.
+// journalKey identifies this campaign's records inside a resume journal.
+// Engine and worker count are deliberately excluded: results are
+// independent of both, so a campaign may resume on a different substrate.
+func (c *Campaign) journalKey() resilience.Key {
+	return resilience.Key{
+		App: c.App.Name, Mode: c.Mode.String(), N: c.N,
+		Seed: c.Seed, Model: c.Model.String(),
+	}
+}
+
+// Run executes the campaign to completion (no cancellation, no deadline).
+// It is deterministic for a fixed seed and N, regardless of worker count
+// and of any attached Observer or Obs sinks.
 func (c *Campaign) Run() (*Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign under a context. Cancellation is
+// graceful: workers finish their in-flight injections, the journal is
+// flushed, and the partial result is aggregated and returned with
+// Interrupted set (nil error), so callers can render what completed and
+// resume the rest later. A context cancelled before the injection phase
+// returns ctx's error instead — there is nothing to render yet.
+func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	if c.App == nil || c.N <= 0 {
 		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
 	}
-	if c.Obs != nil && c.Obs.Reg != nil {
-		// Pre-register the trap families so a metrics dump always carries
-		// every crash-causing signal, including the zero counts.
-		c.Obs.Reg.Help("letgo_vm_traps_total", "Machine exceptions raised, by signal.")
-		for _, sig := range []vm.Signal{vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
-			c.Obs.Reg.Counter("letgo_vm_traps_total", "signal", sig.String())
+	curPhase := ""
+	defer func() {
+		if err != nil {
+			// Whatever already completed is worth keeping for a resume,
+			// and the observer stream must end with a close record.
+			c.Journal.Flush()
+			if c.Observer != nil {
+				c.Observer.Failed(curPhase, err)
+			}
 		}
-		c.Obs.Reg.Help("letgo_vm_retired_instructions_total", "Instructions retired across injected runs.")
-		c.Obs.Reg.Counter("letgo_vm_retired_instructions_total")
-		c.Obs.Reg.Help("letgo_engine_forks_total", "Machine forks taken by the execution engine (waypoints, positioning, per-run).")
-		c.Obs.Reg.Counter("letgo_engine_forks_total")
-		c.Obs.Reg.Help("letgo_engine_pages_copied_total", "COW pages copied across the golden recording and all injected runs.")
-		c.Obs.Reg.Counter("letgo_engine_pages_copied_total")
-		c.Obs.Reg.Help("letgo_engine_instructions_replayed_total", "Clean prefix instructions re-executed to position injected runs.")
-		c.Obs.Reg.Counter("letgo_engine_instructions_replayed_total")
-		c.Obs.Reg.Help("letgo_engine_instructions_saved_total", "Prefix instructions the fork engine avoided versus rerun.")
-		c.Obs.Reg.Counter("letgo_engine_instructions_saved_total")
+	}()
+	setPhase := func(name string) {
+		curPhase = name
+		c.phase(name)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.registerMetrics()
 
-	c.phase(PhaseCompile)
+	setPhase(PhaseCompile)
 	prog, err := c.App.Compile()
 	if err != nil {
 		return nil, err
 	}
 	an := pin.Analyze(prog)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Golden run: acceptance data and output to compare against. The fork
 	// engine records it once with waypoint snapshots; the rerun engine
 	// executes it plainly (and will pay a second execution for profiling).
-	c.phase(PhaseGolden)
+	setPhase(PhaseGolden)
 	var gold *engine.Golden
 	var gm *vm.Machine
 	const profileBudget = 1 << 32
@@ -267,10 +336,13 @@ func (c *Campaign) Run() (*Result, error) {
 		return nil, err
 	}
 	budget := uint64(float64(gm.Retired)*factor) + 100_000
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Profiling phase (Section 5.4). The fork engine observed the profile
 	// while recording; the rerun engine runs the program again to count.
-	c.phase(PhaseProfile)
+	setPhase(PhaseProfile)
 	var prof *pin.Profile
 	if c.Engine == EngineRerun {
 		if prof, err = an.ProfileRun(vm.Config{}, profileBudget); err != nil {
@@ -300,17 +372,29 @@ func (c *Campaign) Run() (*Result, error) {
 	if workers > c.N {
 		workers = c.N
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	c.phase(PhaseInject)
+	setPhase(PhaseInject)
 	results := make([]injResult, c.N)
+	completed := make([]bool, c.N)
+	resumed, err := c.restoreFromJournal(results, completed)
+	if err != nil {
+		return nil, err
+	}
+
 	estats := EngineStats{Engine: c.Engine.String()}
 	if c.Engine == EngineRerun {
-		err = c.runRerun(prog, an, plans, budget, golden, workers, results)
+		err = c.runRerun(ctx, prog, an, plans, budget, golden, workers, results, completed)
 	} else {
-		err = c.runFork(gold, an, plans, budget, golden, workers, results, &estats)
+		err = c.runFork(ctx, gold, an, plans, budget, golden, workers, results, completed, &estats)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if ferr := c.Journal.Flush(); ferr != nil {
+		return nil, ferr
 	}
 	if c.Obs != nil {
 		c.Obs.Counter("letgo_engine_forks_total").Add(estats.Forks)
@@ -319,15 +403,27 @@ func (c *Campaign) Run() (*Result, error) {
 		c.Obs.Counter("letgo_engine_instructions_saved_total").Add(estats.InstrsSaved)
 	}
 
-	res := &Result{
+	completedCount := 0
+	for _, ok := range completed {
+		if ok {
+			completedCount++
+		}
+	}
+	res = &Result{
 		App:           c.App.Name,
 		Mode:          c.Mode,
 		N:             c.N,
 		GoldenRetired: gm.Retired,
 		Signals:       map[vm.Signal]int{},
 		EngineStats:   estats,
+		Completed:     completedCount,
+		Resumed:       resumed,
+		Interrupted:   completedCount < c.N,
 	}
-	for _, r := range results {
+	for i, r := range results {
+		if !completed[i] {
+			continue
+		}
 		res.Counts.Add(r.class)
 		if r.destLive {
 			res.LiveDest.Add(r.class)
@@ -342,17 +438,79 @@ func (c *Campaign) Run() (*Result, error) {
 		}
 	}
 	res.Metrics = outcome.ComputeMetrics(&res.Counts)
-	res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
+	if res.Counts.N > 0 {
+		res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
+	}
 	if c.Observer != nil {
 		c.Observer.Done(res)
 	}
 	return res, nil
 }
 
+// registerMetrics pre-registers the campaign's metric families so a dump
+// always carries them, including the zero counts.
+func (c *Campaign) registerMetrics() {
+	if c.Obs == nil || c.Obs.Reg == nil {
+		return
+	}
+	reg := c.Obs.Reg
+	reg.Help("letgo_vm_traps_total", "Machine exceptions raised, by signal.")
+	for _, sig := range []vm.Signal{vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
+		reg.Counter("letgo_vm_traps_total", "signal", sig.String())
+	}
+	reg.Help("letgo_vm_retired_instructions_total", "Instructions retired across injected runs.")
+	reg.Counter("letgo_vm_retired_instructions_total")
+	reg.Help("letgo_engine_forks_total", "Machine forks taken by the execution engine (waypoints, positioning, per-run).")
+	reg.Counter("letgo_engine_forks_total")
+	reg.Help("letgo_engine_pages_copied_total", "COW pages copied across the golden recording and all injected runs.")
+	reg.Counter("letgo_engine_pages_copied_total")
+	reg.Help("letgo_engine_instructions_replayed_total", "Clean prefix instructions re-executed to position injected runs.")
+	reg.Counter("letgo_engine_instructions_replayed_total")
+	reg.Help("letgo_engine_instructions_saved_total", "Prefix instructions the fork engine avoided versus rerun.")
+	reg.Counter("letgo_engine_instructions_saved_total")
+	reg.Help("letgo_resume_skipped_total", "Injections restored from the resume journal instead of re-executed.")
+	reg.Counter("letgo_resume_skipped_total")
+	reg.Help("letgo_resume_journaled_total", "Injections appended to the resume journal.")
+	reg.Counter("letgo_resume_journaled_total")
+	reg.Help("letgo_watchdog_timeouts_total", "Per-injection wall-clock watchdog expirations.")
+	reg.Counter("letgo_watchdog_timeouts_total")
+	reg.Help("letgo_quarantine_total", "Injections quarantined by the campaign supervisor, by reason.")
+	for _, r := range []string{quarWatchdog, quarPanic} {
+		reg.Counter("letgo_quarantine_total", "reason", r)
+	}
+}
+
+// restoreFromJournal fills results with this campaign's journaled
+// injections and returns how many were restored.
+func (c *Campaign) restoreFromJournal(results []injResult, completed []bool) (int, error) {
+	if c.Journal == nil {
+		return 0, nil
+	}
+	done := c.Journal.Completed(c.journalKey())
+	resumed := 0
+	for i, rec := range done {
+		if i < 0 || i >= c.N {
+			continue
+		}
+		r, err := resultFromRecord(rec)
+		if err != nil {
+			return 0, fmt.Errorf("inject: journal %s index %d: %w", c.Journal.Path(), i, err)
+		}
+		results[i] = r
+		completed[i] = true
+		resumed++
+	}
+	if resumed > 0 && c.Obs != nil {
+		c.Obs.Counter("letgo_resume_skipped_total").Add(uint64(resumed))
+		c.Obs.Emit(obs.ResumeEvent{App: c.App.Name, Skipped: resumed, Total: c.N})
+	}
+	return resumed, nil
+}
+
 // runRerun executes the campaign's injections on the rerun engine: each
 // worker takes a strided slice of plans and every injection re-executes
 // the whole prefix from PC 0 inside executeHub.
-func (c *Campaign) runRerun(prog *isa.Program, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult) error {
+func (c *Campaign) runRerun(ctx context.Context, prog *isa.Program, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, completed []bool) error {
 	errs := make([]error, workers)
 	// failed lets the first erroring worker stop the others early instead
 	// of letting them burn through their remaining injections.
@@ -363,17 +521,30 @@ func (c *Campaign) runRerun(prog *isa.Program, an *pin.Analysis, plans []Plan, b
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < c.N; i += workers {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
-				r, err := c.one(prog, an, plans[i], budget, golden)
+				if completed[i] {
+					continue // restored from the journal
+				}
+				i := i
+				r, quar, stack, err := supervise(c.Watchdog, func() (injResult, error) {
+					if c.beforeInjection != nil {
+						c.beforeInjection(i)
+					}
+					return c.one(prog, an, plans[i], budget, golden)
+				})
 				if err != nil {
 					errs[w] = err
 					failed.Store(true)
 					return
 				}
+				if quar != "" {
+					r = c.quarantine(i, quar, stack)
+				}
 				results[i] = r
-				c.executed(i, w, r)
+				completed[i] = true
+				c.finish(i, w, r, quar, stack)
 			}
 		}(w)
 	}
@@ -384,6 +555,57 @@ func (c *Campaign) runRerun(prog *isa.Program, an *pin.Analysis, plans []Plan, b
 		}
 	}
 	return nil
+}
+
+// forkStep carries one fork-engine injection's outputs out of the
+// supervised body: the classified result, the (possibly re-forked)
+// replay machine handed back to the worker, and the engine-stat deltas
+// the step contributed.
+type forkStep struct {
+	r        injResult
+	cur      *vm.Machine
+	dbg      *debug.Debugger
+	forks    uint64
+	pages    uint64
+	replayed uint64
+	saved    uint64
+}
+
+// forkOne positions a replay machine at the injection's dynamic index
+// (re-forking from a waypoint when one leapfrogs the machine), runs the
+// injection on a COW fork of it, and classifies the outcome.
+func (c *Campaign) forkOne(gold *engine.Golden, an *pin.Analysis, plan Plan, budget uint64, golden []float64, when uint64, cur *vm.Machine, curDbg *debug.Debugger) (forkStep, error) {
+	var out forkStep
+	// Re-fork only when a waypoint is strictly ahead of the replay
+	// machine; otherwise stepping forward is cheaper.
+	if cur == nil || gold.NearestRetired(when) > cur.Retired {
+		if cur != nil {
+			out.pages += cur.Mem.CopiedPages()
+		}
+		cur, _ = gold.ForkAt(when)
+		curDbg = debug.New(cur)
+		out.forks++
+	}
+	replayFrom := cur.Retired
+	if stop := curDbg.RunToDynamic(when); stop != nil {
+		return out, fmt.Errorf("inject: clean replay to dynamic %d stopped: %v", when, stop.Reason)
+	}
+	out.replayed += when - replayFrom
+	out.saved += replayFrom
+	runM := cur.Fork()
+	out.forks++
+	ro, err := executeAt(gold.Prog, an, plan, c.Mode, c.Opts, budget, c.Obs, runM)
+	if err != nil {
+		return out, err
+	}
+	r, pages, err := c.classify(&ro, golden)
+	if err != nil {
+		return out, err
+	}
+	out.pages += pages
+	out.r = r
+	out.cur, out.dbg = cur, curDbg
+	return out, nil
 }
 
 // runFork executes the campaign's injections on the fork-replay engine.
@@ -397,7 +619,7 @@ func (c *Campaign) runRerun(prog *isa.Program, an *pin.Analysis, plans []Plan, b
 // it. The injected run itself executes on a COW fork of the positioned
 // replay machine, so the clean prefix is never contaminated and is
 // executed at most once per worker per K-sized gap.
-func (c *Campaign) runFork(gold *engine.Golden, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, estats *EngineStats) error {
+func (c *Campaign) runFork(ctx context.Context, gold *engine.Golden, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, completed []bool, estats *EngineStats) error {
 	sites := make([]pin.Site, len(plans))
 	for i, p := range plans {
 		sites[i] = p.Site
@@ -429,45 +651,44 @@ func (c *Campaign) runFork(gold *engine.Golden, an *pin.Analysis, plans []Plan, 
 			var cur *vm.Machine
 			var curDbg *debug.Debugger
 			for _, i := range chunk {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
-				when := whens[i]
-				// Re-fork only when a waypoint is strictly ahead of the
-				// replay machine; otherwise stepping forward is cheaper.
-				if cur == nil || gold.NearestRetired(when) > cur.Retired {
-					if cur != nil {
-						pagesCopied.Add(cur.Mem.CopiedPages())
+				if completed[i] {
+					continue // restored from the journal
+				}
+				// The supervised body gets the worker's replay machine by
+				// value and hands back a replacement only on success: a
+				// timed-out body's abandoned goroutine may still be using
+				// the machine, so quarantine discards it and the next
+				// injection re-forks from a frozen waypoint.
+				i, bodyCur, bodyDbg := i, cur, curDbg
+				out, quar, stack, err := supervise(c.Watchdog, func() (forkStep, error) {
+					if c.beforeInjection != nil {
+						c.beforeInjection(i)
 					}
-					cur, _ = gold.ForkAt(when)
-					curDbg = debug.New(cur)
-					forks.Add(1)
-				}
-				replayFrom := cur.Retired
-				if stop := curDbg.RunToDynamic(when); stop != nil {
-					errs[w] = fmt.Errorf("inject: clean replay to dynamic %d stopped: %v", when, stop.Reason)
-					failed.Store(true)
-					return
-				}
-				instrsReplayed.Add(when - replayFrom)
-				instrsSaved.Add(replayFrom)
-				runM := cur.Fork()
-				forks.Add(1)
-				ro, err := executeAt(gold.Prog, an, plans[i], c.Mode, c.Opts, budget, c.Obs, runM)
+					return c.forkOne(gold, an, plans[i], budget, golden, whens[i], bodyCur, bodyDbg)
+				})
 				if err != nil {
 					errs[w] = err
 					failed.Store(true)
 					return
 				}
-				r, pages, err := c.classify(&ro, golden)
-				if err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
+				var r injResult
+				if quar != "" {
+					cur, curDbg = nil, nil
+					r = c.quarantine(i, quar, stack)
+				} else {
+					cur, curDbg = out.cur, out.dbg
+					forks.Add(out.forks)
+					pagesCopied.Add(out.pages)
+					instrsReplayed.Add(out.replayed)
+					instrsSaved.Add(out.saved)
+					r = out.r
 				}
-				pagesCopied.Add(pages)
 				results[i] = r
-				c.executed(i, w, r)
+				completed[i] = true
+				c.finish(i, w, r, quar, stack)
 			}
 			if cur != nil {
 				pagesCopied.Add(cur.Mem.CopiedPages())
@@ -486,6 +707,80 @@ func (c *Campaign) runFork(gold *engine.Golden, an *pin.Analysis, plans []Plan, 
 	estats.InstrsReplayed = instrsReplayed.Load()
 	estats.InstrsSaved = instrsSaved.Load()
 	return nil
+}
+
+// quarantine converts a harness fault on injection i into its quarantine
+// outcome class and records it in the obs sinks.
+func (c *Campaign) quarantine(i int, reason, stack string) injResult {
+	class := outcome.CHang
+	if reason == quarPanic {
+		class = outcome.HarnessFault
+	}
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_quarantine_total", "reason", reason).Inc()
+		if reason == quarWatchdog {
+			c.Obs.Counter("letgo_watchdog_timeouts_total").Inc()
+		}
+		c.Obs.Emit(obs.QuarantineEvent{App: c.App.Name, Index: i, Reason: reason, Stack: stack})
+	}
+	return injResult{class: class}
+}
+
+// finish journals and reports one classified injection.
+func (c *Campaign) finish(i, w int, r injResult, quar, stack string) {
+	if c.Journal != nil {
+		// Append errors are not fatal mid-campaign: the record stays in
+		// memory and the terminal Flush (whose error does surface)
+		// retries the write.
+		c.Journal.Append(c.record(i, r, quar, stack))
+		if c.Obs != nil {
+			c.Obs.Counter("letgo_resume_journaled_total").Inc()
+		}
+	}
+	c.executed(i, w, r)
+}
+
+// record converts one classified injection into its journal form.
+func (c *Campaign) record(i int, r injResult, quar, stack string) resilience.Record {
+	sig := ""
+	if r.sig != vm.SIGNONE {
+		sig = r.sig.String()
+	}
+	return resilience.Record{
+		Key: c.journalKey(), Index: i, Class: r.class.String(), Signal: sig,
+		DestLive: r.destLive, Latency: r.latency, HasLatency: r.hasLatency,
+		Retired: r.retired, Quarantine: quar, Stack: stack,
+	}
+}
+
+// resultFromRecord inverts record.
+func resultFromRecord(rec resilience.Record) (injResult, error) {
+	class, err := outcome.ParseClass(rec.Class)
+	if err != nil {
+		return injResult{}, err
+	}
+	sig, err := parseSignal(rec.Signal)
+	if err != nil {
+		return injResult{}, err
+	}
+	return injResult{
+		class: class, sig: sig, destLive: rec.DestLive,
+		latency: rec.Latency, hasLatency: rec.HasLatency, retired: rec.Retired,
+	}, nil
+}
+
+// parseSignal inverts vm.Signal.String for journal records ("" means
+// SIGNONE, which the journal omits).
+func parseSignal(s string) (vm.Signal, error) {
+	for _, sig := range []vm.Signal{vm.SIGNONE, vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
+		if s == sig.String() {
+			return sig, nil
+		}
+	}
+	if s == "" {
+		return vm.SIGNONE, nil
+	}
+	return vm.SIGNONE, fmt.Errorf("inject: unknown signal %q", s)
 }
 
 // executed delivers one classified injection to the observer, if any.

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -467,12 +469,29 @@ type recordingObserver struct {
 	planned  atomic.Int64
 	executed atomic.Int64
 	done     atomic.Int64
+	failed   atomic.Int64
+
+	mu         sync.Mutex
+	failPhase  string
+	failErr    error
+	lastResult *Result
 }
 
 func (o *recordingObserver) Phase(phase string) { o.phases = append(o.phases, phase) }
 func (o *recordingObserver) Planned(int, Plan)  { o.planned.Add(1) }
 func (o *recordingObserver) Executed(Execution) { o.executed.Add(1) }
-func (o *recordingObserver) Done(*Result)       { o.done.Add(1) }
+func (o *recordingObserver) Done(res *Result) {
+	o.done.Add(1)
+	o.mu.Lock()
+	o.lastResult = res
+	o.mu.Unlock()
+}
+func (o *recordingObserver) Failed(phase string, err error) {
+	o.failed.Add(1)
+	o.mu.Lock()
+	o.failPhase, o.failErr = phase, err
+	o.mu.Unlock()
+}
 
 func TestCampaignObserverDeterminism(t *testing.T) {
 	// A campaign with the full observability stack attached (registry,
@@ -608,6 +627,14 @@ func TestCampaignWorkerEarlyStop(t *testing.T) {
 	}
 	if got := rec.executed.Load(); got >= 200 {
 		t.Errorf("workers executed %d injections after the first error; early stop not engaged", got)
+	}
+	// The failure terminated the observer stream: exactly one Failed, no
+	// Done, and the phase names where the campaign died.
+	if rec.failed.Load() != 1 || rec.done.Load() != 0 {
+		t.Errorf("failed=%d done=%d, want exactly one Failed and no Done", rec.failed.Load(), rec.done.Load())
+	}
+	if rec.failPhase != PhaseInject || !errors.Is(rec.failErr, errTestAccept) {
+		t.Errorf("Failed(%q, %v), want phase %q wrapping errTestAccept", rec.failPhase, rec.failErr, PhaseInject)
 	}
 }
 

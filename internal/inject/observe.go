@@ -76,11 +76,20 @@ func (o *obsObserver) Done(res *Result) {
 	for _, cl := range []outcome.Class{
 		outcome.Benign, outcome.SDC, outcome.Detected, outcome.Crash,
 		outcome.DoubleCrash, outcome.CBenign, outcome.CSDC, outcome.CDetected,
-		outcome.Hang,
+		outcome.Hang, outcome.CHang, outcome.HarnessFault,
 	} {
 		// Materialize every class so dumps carry explicit zeros.
 		o.hub.Counter("letgo_injections_total", "app", o.app, "class", cl.String()).Add(0)
 	}
+	o.hub.Emit(obs.CampaignDoneEvent{
+		App: o.app, N: res.N, Completed: res.Completed,
+		Resumed: res.Resumed, Interrupted: res.Interrupted,
+	})
+	o.prog.Finish()
+}
+
+func (o *obsObserver) Failed(phase string, err error) {
+	o.hub.Emit(obs.CampaignFailedEvent{App: o.app, Phase: phase, Error: err.Error()})
 	o.prog.Finish()
 }
 

@@ -1,0 +1,77 @@
+package inject
+
+import (
+	"fmt"
+	rtdebug "runtime/debug"
+	"time"
+)
+
+// Quarantine reasons, as reported in obs events and journal records.
+const (
+	quarWatchdog = "watchdog" // the per-injection wall-clock watchdog expired
+	quarPanic    = "panic"    // the injection body panicked twice
+)
+
+// guarded runs body, converting a panic into a captured stack so one
+// faulty injection cannot tear down a whole campaign's worker pool.
+func guarded[T any](body func() (T, error)) (out T, stack string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack = fmt.Sprintf("panic: %v\n\n%s", p, rtdebug.Stack())
+		}
+	}()
+	out, err = body()
+	return
+}
+
+// timed runs the guarded body under a wall-clock watchdog. On timeout the
+// body's goroutine is abandoned — every execution path inside it is
+// bounded by the retired-instruction budget, so it terminates on its own
+// and its late result is discarded (the channel is buffered).
+func timed[T any](watchdog time.Duration, body func() (T, error)) (out T, stack string, timedOut bool, err error) {
+	if watchdog <= 0 {
+		out, stack, err = guarded(body)
+		return
+	}
+	type res struct {
+		out   T
+		stack string
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		o, s, e := guarded(body)
+		ch <- res{o, s, e}
+	}()
+	t := time.NewTimer(watchdog)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.stack, false, r.err
+	case <-t.C:
+		timedOut = true
+		return
+	}
+}
+
+// supervise applies the campaign's harness-fault policy to one injection
+// body: a watchdog timeout quarantines immediately (reason
+// quarWatchdog); a panic gets one retry and then quarantines with its
+// captured stack (reason quarPanic). A non-empty reason means the body
+// produced no result and out is the zero value. A non-nil err is a
+// genuine campaign error and propagates unchanged — errors are
+// deterministic, so retrying them would only mask bugs.
+func supervise[T any](watchdog time.Duration, body func() (T, error)) (out T, reason, stack string, err error) {
+	var zero T
+	for attempt := 0; attempt < 2; attempt++ {
+		var timedOut bool
+		out, stack, timedOut, err = timed(watchdog, body)
+		if timedOut {
+			return zero, quarWatchdog, "", nil
+		}
+		if stack == "" {
+			return out, "", "", err
+		}
+	}
+	return zero, quarPanic, stack, nil
+}

@@ -1,0 +1,56 @@
+package isa_test
+
+import (
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/isa"
+)
+
+// FuzzProgramUnmarshalBinary hardens the object-file loader against
+// corrupt input: arbitrary bytes must produce either an error or a valid,
+// round-trippable program — never a panic and never an allocation driven
+// by an unchecked header count.
+func FuzzProgramUnmarshalBinary(f *testing.F) {
+	// Seed with every benchmark app's real object image plus a few
+	// structurally interesting prefixes.
+	for _, a := range apps.All() {
+		p, err := a.Compile()
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LGO1"))
+	// Magic + entry + globals + a count with no payload behind it.
+	f.Add(append([]byte("LGO1"),
+		0x00, 0x10, 0, 0, 0, 0, 0, 0, // entry
+		0, 0, 0, 0, 0, 0, 0, 0, // globals
+		0xff, 0xff, 0xff, 0xff, // ninstr = 2^32-1
+	))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var p isa.Program
+		if err := p.UnmarshalBinary(b); err != nil {
+			return
+		}
+		// Accepted images are valid by construction and must survive a
+		// marshal/unmarshal round trip.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted image fails Validate: %v", err)
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted image fails MarshalBinary: %v", err)
+		}
+		var q isa.Program
+		if err := q.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshaled image rejected: %v", err)
+		}
+	})
+}

@@ -262,6 +262,12 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return fmt.Errorf("isa: truncated object: %w", err)
 	}
+	// Bound every count-driven allocation by the bytes actually present,
+	// so a corrupt header cannot demand gigabytes before the truncation
+	// is noticed (each record consumes at least its fixed size).
+	if uint64(n)*EncodedBytes > uint64(r.Len()) {
+		return fmt.Errorf("isa: object declares %d instructions but holds %d bytes", n, r.Len())
+	}
 	p.Instrs = make([]Instruction, n)
 	ib := make([]byte, EncodedBytes)
 	for i := range p.Instrs {
@@ -276,6 +282,10 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return fmt.Errorf("isa: truncated object: %w", err)
 	}
+	const dataHeader = 8 + 4 // addr u64 + len u32
+	if uint64(nd)*dataHeader > uint64(r.Len()) {
+		return fmt.Errorf("isa: object declares %d data spans but holds %d bytes", nd, r.Len())
+	}
 	p.Data = make([]DataSpan, nd)
 	for i := range p.Data {
 		if p.Data[i].Addr, err = readU64(); err != nil {
@@ -285,6 +295,9 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 		if err != nil {
 			return fmt.Errorf("isa: truncated data: %w", err)
 		}
+		if uint64(ln) > uint64(r.Len()) {
+			return fmt.Errorf("isa: data span %d declares %d bytes but %d remain", i, ln, r.Len())
+		}
 		p.Data[i].Bytes = make([]byte, ln)
 		if _, err := io.ReadFull(r, p.Data[i].Bytes); err != nil {
 			return fmt.Errorf("isa: truncated data: %w", err)
@@ -293,6 +306,10 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 	ns, err := readU32()
 	if err != nil {
 		return fmt.Errorf("isa: truncated object: %w", err)
+	}
+	const symHeader = 1 + 8 + 8 + 2 // kind u8 + addr u64 + size u64 + namelen u16
+	if uint64(ns)*symHeader > uint64(r.Len()) {
+		return fmt.Errorf("isa: object declares %d symbols but holds %d bytes", ns, r.Len())
 	}
 	p.Symbols = make([]Symbol, ns)
 	for i := range p.Symbols {

@@ -86,6 +86,52 @@ type GiveUpEvent struct {
 
 func (GiveUpEvent) EventType() string { return "giveup" }
 
+// CampaignDoneEvent is the terminal close record of a campaign's event
+// stream: every campaign that reaches its aggregation phase emits exactly
+// one, even when interrupted mid-injection.
+type CampaignDoneEvent struct {
+	App         string `json:"app,omitempty"`
+	N           int    `json:"n"`
+	Completed   int    `json:"completed"`
+	Resumed     int    `json:"resumed,omitempty"`
+	Interrupted bool   `json:"interrupted,omitempty"`
+}
+
+func (CampaignDoneEvent) EventType() string { return "campaign_done" }
+
+// CampaignFailedEvent is the terminal close record of a campaign that
+// aborted with an error; exactly one of campaign_done or campaign_failed
+// ends every campaign's stream, so consumers never see a dangling log.
+type CampaignFailedEvent struct {
+	App   string `json:"app,omitempty"`
+	Phase string `json:"phase,omitempty"`
+	Error string `json:"error"`
+}
+
+func (CampaignFailedEvent) EventType() string { return "campaign_failed" }
+
+// QuarantineEvent records the supervisor giving up on one injection — a
+// per-injection watchdog timeout or a twice-panicking worker — without
+// killing the campaign.
+type QuarantineEvent struct {
+	App    string `json:"app,omitempty"`
+	Index  int    `json:"index"`
+	Reason string `json:"reason"` // watchdog | panic
+	Stack  string `json:"stack,omitempty"`
+}
+
+func (QuarantineEvent) EventType() string { return "quarantine" }
+
+// ResumeEvent records journal-driven resume bookkeeping at the start of
+// a campaign's injection phase.
+type ResumeEvent struct {
+	App     string `json:"app,omitempty"`
+	Skipped int    `json:"skipped"` // injections restored from the journal
+	Total   int    `json:"total"`
+}
+
+func (ResumeEvent) EventType() string { return "resume" }
+
 // SimTransitionEvent records one Section-7 state-machine transition, with
 // the arm's running cost and verified-useful-work accumulators.
 type SimTransitionEvent struct {

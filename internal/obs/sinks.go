@@ -1,14 +1,22 @@
 package obs
 
 import (
+	"io"
 	"os"
 	"strings"
+
+	"github.com/letgo-hpc/letgo/internal/atomicio"
 )
 
 // Sinks bundles the observability outputs behind the shared CLI flags
 // (-metrics-out, -events-json, -progress). With all flags off every
 // field is nil, so callers can wire a Sinks unconditionally: every obs
 // call on a nil sink is a no-op and no files are created.
+//
+// Both file outputs are crash-safe: bytes stream into a temp file next
+// to the destination and are renamed into place on Close, so a process
+// killed mid-write never leaves a truncated -metrics-out or -events-json
+// behind (tail the in-progress stream via the *.tmp* file if needed).
 type Sinks struct {
 	// Hub carries the registry and/or emitter; nil when both are off.
 	Hub *Hub
@@ -16,12 +24,12 @@ type Sinks struct {
 	Progress *Progress
 
 	metricsPath string
-	events      *os.File
+	events      *atomicio.File
 }
 
 // OpenSinks builds sinks from the shared CLI flag values. The events
-// file is created eagerly (so open errors surface before a long run);
-// the metrics dump is written by Close.
+// temp file is created eagerly (so open errors surface before a long
+// run); the metrics dump is written by Close.
 func OpenSinks(metricsOut, eventsJSON string, progress bool) (*Sinks, error) {
 	s := &Sinks{metricsPath: metricsOut}
 	var reg *Registry
@@ -30,7 +38,7 @@ func OpenSinks(metricsOut, eventsJSON string, progress bool) (*Sinks, error) {
 		reg = NewRegistry()
 	}
 	if eventsJSON != "" {
-		f, err := os.Create(eventsJSON)
+		f, err := atomicio.Create(eventsJSON)
 		if err != nil {
 			return nil, err
 		}
@@ -51,37 +59,32 @@ func (s *Sinks) Enabled() bool {
 	return s != nil && (s.Hub != nil || s.Progress != nil)
 }
 
-// Close writes the metrics dump (Prometheus text, or JSON when the path
-// ends in .json) and closes the event stream, returning the first error
-// encountered. Safe on a nil or all-off Sinks.
+// Close atomically publishes the metrics dump (Prometheus text, or JSON
+// when the path ends in .json) and the event stream, returning the first
+// error encountered. Safe on a nil or all-off Sinks.
 func (s *Sinks) Close() error {
 	if s == nil {
 		return nil
 	}
 	var first error
 	if s.Hub != nil && s.Hub.Reg != nil && s.metricsPath != "" {
-		f, err := os.Create(s.metricsPath)
-		if err != nil {
-			first = err
-		} else {
+		err := atomicio.WriteFile(s.metricsPath, func(w io.Writer) error {
 			if strings.HasSuffix(s.metricsPath, ".json") {
-				err = s.Hub.Reg.WriteJSON(f)
-			} else {
-				err = s.Hub.Reg.WritePrometheus(f)
+				return s.Hub.Reg.WriteJSON(w)
 			}
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if first == nil {
-				first = err
-			}
+			return s.Hub.Reg.WritePrometheus(w)
+		})
+		if first == nil {
+			first = err
 		}
 	}
 	if s.events != nil {
-		if err := s.Hub.Em.Err(); err != nil && first == nil {
-			first = err
-		}
-		if err := s.events.Close(); err != nil && first == nil {
+		if err := s.Hub.Em.Err(); err != nil {
+			s.events.Abort()
+			if first == nil {
+				first = err
+			}
+		} else if err := s.events.Commit(); err != nil && first == nil {
 			first = err
 		}
 	}

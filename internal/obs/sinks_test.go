@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSinksAtomicPublish(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	events := filepath.Join(dir, "events.jsonl")
+	s, err := OpenSinks(metrics, events, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() || s.Hub == nil {
+		t.Fatal("sinks not enabled")
+	}
+	s.Hub.Counter("letgo_test_total").Inc()
+	s.Hub.Emit(PhaseEvent{App: "X", Phase: "inject"})
+
+	// Mid-run, neither final path exists — a kill here leaves no
+	// truncated outputs, only *.tmp* files.
+	for _, p := range []string{metrics, events} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s exists before Close", p)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(metrics)
+	if err != nil || !strings.Contains(string(m), "letgo_test_total") {
+		t.Errorf("metrics dump: %v\n%s", err, m)
+	}
+	e, err := os.ReadFile(events)
+	if err != nil || !strings.Contains(string(e), `"phase":"inject"`) {
+		t.Errorf("events dump: %v\n%s", err, e)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, ent := range ents {
+		if strings.Contains(ent.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", ent.Name())
+		}
+	}
+}
+
+func TestOpenSinksBadEventsPath(t *testing.T) {
+	if _, err := OpenSinks("", filepath.Join(t.TempDir(), "no", "dir", "e.jsonl"), false); err == nil {
+		t.Fatal("expected error for unwritable events path")
+	}
+}
+
+func TestSinksAllOff(t *testing.T) {
+	s, err := OpenSinks("", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Enabled() {
+		t.Error("empty sinks enabled")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+	var nilSinks *Sinks
+	if nilSinks.Enabled() || nilSinks.Close() != nil {
+		t.Error("nil sinks misbehave")
+	}
+}

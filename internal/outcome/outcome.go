@@ -30,12 +30,21 @@ const (
 
 	Hang // did not finish within the instruction budget
 
+	// Harness-quarantine classes. These are never produced by Classify:
+	// the campaign supervisor assigns them when the harness itself — not
+	// the injected program — misbehaves, so the campaign can finish
+	// instead of crashing or stalling. They are zero in any undisturbed
+	// run, which keeps resumed and uninterrupted campaigns byte-identical.
+	CHang        // per-injection wall-clock watchdog expired (forced hang)
+	HarnessFault // the worker panicked twice running this injection
+
 	NumClasses // sentinel
 )
 
 var classNames = [NumClasses]string{
 	"Benign", "SDC", "Detected", "Crash", "DoubleCrash",
 	"C-Benign", "C-SDC", "C-Detected", "Hang",
+	"C-Hang", "C-HarnessFault",
 }
 
 func (c Class) String() string {
@@ -55,6 +64,24 @@ func (c Class) Continued() bool {
 // (every class under the Figure-4 "Crash" subtree).
 func (c Class) CrashBranch() bool {
 	return c == Crash || c == DoubleCrash || c.Continued()
+}
+
+// Quarantined reports whether the class was assigned by the campaign
+// supervisor rather than observed from the program (watchdog timeout or
+// worker panic).
+func (c Class) Quarantined() bool {
+	return c == CHang || c == HarnessFault
+}
+
+// ParseClass inverts String. It is used to restore classified injections
+// from a resume journal.
+func ParseClass(s string) (Class, error) {
+	for c, name := range classNames {
+		if name == s {
+			return Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("outcome: unknown class %q", s)
 }
 
 // RunRecord is the raw observation for one fault-injection run, classified

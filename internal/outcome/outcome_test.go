@@ -40,10 +40,28 @@ func TestClassPredicates(t *testing.T) {
 			t.Errorf("%v predicates wrong", c)
 		}
 	}
-	for _, c := range []Class{Benign, SDC, Detected, Hang} {
+	for _, c := range []Class{Benign, SDC, Detected, Hang, CHang, HarnessFault} {
 		if c.Continued() || c.CrashBranch() {
 			t.Errorf("%v predicates wrong", c)
 		}
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		want := c == CHang || c == HarnessFault
+		if c.Quarantined() != want {
+			t.Errorf("%v.Quarantined() = %v, want %v", c, !want, want)
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("C-Bogus"); err == nil {
+		t.Error("ParseClass accepted an unknown name")
 	}
 }
 

@@ -56,6 +56,8 @@ type CampaignRow struct {
 	CBenign            float64 `json:"c_benign"`
 	CSDC               float64 `json:"c_sdc"`
 	Hang               float64 `json:"hang"`
+	CHang              float64 `json:"c_hang"`
+	HarnessFault       float64 `json:"harness_fault"`
 	CrashRate          float64 `json:"crash_rate"`
 	Continuability     float64 `json:"continuability"`
 	ContinuedDetected  float64 `json:"continued_detected"`
@@ -86,6 +88,8 @@ func Row(r *inject.Result) CampaignRow {
 		CBenign:            c.Frac(outcome.CBenign),
 		CSDC:               c.Frac(outcome.CSDC),
 		Hang:               c.Frac(outcome.Hang),
+		CHang:              c.Frac(outcome.CHang),
+		HarnessFault:       c.Frac(outcome.HarnessFault),
 		CrashRate:          r.PCrash,
 		Continuability:     r.Metrics.Continuability,
 		ContinuedDetected:  r.Metrics.ContinuedDetected,
@@ -108,7 +112,7 @@ func frac(num, den int) float64 {
 
 var campaignHeaders = []string{
 	"app", "mode", "n", "detected", "benign", "sdc", "double_crash",
-	"c_detected", "c_benign", "c_sdc", "hang", "crash_rate",
+	"c_detected", "c_benign", "c_sdc", "hang", "c_hang", "harness_fault", "crash_rate",
 	"continuability", "continued_correct", "continued_sdc",
 	"median_crash_latency", "dead_dest", "masked_dead", "masked_live",
 }
@@ -119,7 +123,7 @@ func (r CampaignRow) cells() []string {
 		r.App, r.Mode, fmt.Sprintf("%d", r.N),
 		pct(r.Detected), pct(r.Benign), pct(r.SDC), pct(r.DoubleCrash),
 		pct(r.CDetected), pct(r.CBenign), pct(r.CSDC), pct(r.Hang),
-		pct(r.CrashRate), pct(r.Continuability), pct(r.ContinuedCorrect),
+		pct(r.CHang), pct(r.HarnessFault), pct(r.CrashRate), pct(r.Continuability), pct(r.ContinuedCorrect),
 		pct(r.ContinuedSDC), fmt.Sprintf("%d", r.MedianCrashLatency),
 		pct(r.DeadDestFrac), pct(r.MaskedDead), pct(r.MaskedLive),
 	}

@@ -1,0 +1,231 @@
+// Package resilience makes fault-injection campaigns survivable: it keeps
+// an append-only JSONL journal of every classified injection so that an
+// interrupted campaign — SIGINT, OOM kill, machine reboot — resumes from
+// where it stopped instead of restarting from scratch. That is the
+// paper's continue-instead-of-restart philosophy applied to the harness
+// itself: the journal is the campaign's checkpoint, and resume is its
+// restart-from-checkpoint, with the completed-injection set playing the
+// role of the minimal resume state.
+//
+// Determinism makes this exact: campaign plans are derived from the seed
+// and classified results are independent of worker count and engine, so
+// a killed-and-resumed campaign renders byte-identical tables to an
+// uninterrupted one.
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/letgo-hpc/letgo/internal/atomicio"
+)
+
+// DefaultFlushEvery is the journal's default chunk size: completed
+// injections are buffered and persisted (atomic write-temp-rename) every
+// time this many new records accumulate, and always on Flush.
+const DefaultFlushEvery = 64
+
+// Key identifies one campaign configuration inside a journal. Records
+// only resume a campaign whose key matches exactly, so one journal file
+// can safely carry a whole multi-app, multi-mode sweep. The execution
+// engine and worker count are deliberately absent: classified results
+// are engine- and scheduling-independent, so a campaign killed under one
+// engine may resume under the other.
+type Key struct {
+	App   string `json:"app"`
+	Mode  string `json:"mode"`
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"`
+	Model string `json:"model"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s n=%d seed=%d model=%s", k.App, k.Mode, k.N, k.Seed, k.Model)
+}
+
+// Record is one journaled injection: the campaign it belongs to, the plan
+// index, and everything aggregation needs to reconstruct the classified
+// result without re-executing it.
+type Record struct {
+	Key
+	Index      int    `json:"index"`
+	Class      string `json:"class"`
+	Signal     string `json:"signal,omitempty"`
+	DestLive   bool   `json:"dest_live,omitempty"`
+	Latency    uint64 `json:"latency,omitempty"`
+	HasLatency bool   `json:"has_latency,omitempty"`
+	Retired    uint64 `json:"retired,omitempty"`
+	// Quarantine and Stack document supervisor-assigned outcomes
+	// (C-Hang, C-HarnessFault): why the harness gave up on the
+	// injection, and the captured panic stack when there was one.
+	Quarantine string `json:"quarantine,omitempty"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+// Journal is a crash-safe log of completed injections. It is safe for
+// concurrent use by campaign workers. Records are held in memory and
+// persisted in chunks; every persist rewrites the whole file through an
+// atomic temp-file rename, so the on-disk journal is always a valid
+// prefix of the log — never a torn line.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	recs  []Record
+	index map[Key]map[int]int // key -> injection index -> recs position
+	dirty int                 // records appended since the last flush
+
+	// FlushEvery overrides the persistence chunk size (default
+	// DefaultFlushEvery). Set it before the first Append.
+	FlushEvery int
+}
+
+// Create opens a fresh journal at path, ignoring any existing content
+// (the file is only replaced on the first flush). The directory must be
+// writable: a probe write runs eagerly so -journal path errors surface
+// before a long campaign starts.
+func Create(path string) (*Journal, error) {
+	j := &Journal{path: path, index: map[Key]map[int]int{}}
+	if err := j.Flush(); err != nil {
+		return nil, fmt.Errorf("resilience: journal %s not writable: %w", path, err)
+	}
+	return j, nil
+}
+
+// Open loads the journal at path for resuming. A missing file yields an
+// empty journal; a trailing torn or corrupt line (possible only if the
+// journal was produced by something other than this package's atomic
+// writer) is tolerated and dropped with its successors.
+func Open(path string) (*Journal, error) {
+	j := &Journal{path: path, index: map[Key]map[int]int{}}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// Torn tail: keep the valid prefix, drop the rest.
+			break
+		}
+		j.add(r)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, fmt.Errorf("resilience: reading %s: %w", path, err)
+	}
+	j.dirty = 0
+	return j, nil
+}
+
+// add appends r to the in-memory log, replacing any earlier record for
+// the same (key, index) — the latest observation wins.
+func (j *Journal) add(r Record) {
+	byIdx := j.index[r.Key]
+	if byIdx == nil {
+		byIdx = map[int]int{}
+		j.index[r.Key] = byIdx
+	}
+	if pos, ok := byIdx[r.Index]; ok {
+		j.recs[pos] = r
+		return
+	}
+	byIdx[r.Index] = len(j.recs)
+	j.recs = append(j.recs, r)
+	j.dirty++
+}
+
+// Append records one completed injection, persisting the journal when a
+// full chunk has accumulated. A nil journal discards everything.
+func (j *Journal) Append(r Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.add(r)
+	every := j.FlushEvery
+	if every <= 0 {
+		every = DefaultFlushEvery
+	}
+	if j.dirty >= every {
+		return j.flushLocked()
+	}
+	return nil
+}
+
+// Completed returns the journaled records for one campaign, by injection
+// index. The returned map is a snapshot; mutating it does not affect the
+// journal. A nil journal has completed nothing.
+func (j *Journal) Completed(k Key) map[int]Record {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[int]Record, len(j.index[k]))
+	for idx, pos := range j.index[k] {
+		out[idx] = j.recs[pos]
+	}
+	return out
+}
+
+// Len returns the total number of journaled records across all keys.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Path returns the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Flush persists the full journal with an atomic write-temp-rename. It
+// is safe to call at any point, including after errors and interrupts.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	err := atomicio.WriteFile(j.path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		for _, r := range j.recs {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	j.dirty = 0
+	return nil
+}

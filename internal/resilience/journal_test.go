@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func key(app string) Key {
+	return Key{App: app, Mode: "LetGo-E", N: 100, Seed: 7, Model: "single-bit"}
+}
+
+func rec(k Key, i int, class string) Record {
+	return Record{Key: k, Index: i, Class: class, Retired: uint64(1000 + i)}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := key("LULESH"), key("SNAP")
+	for i := 0; i < 10; i++ {
+		if err := j.Append(rec(k1, i, "Benign")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(rec(k2, 3, "Crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", r.Len())
+	}
+	done := r.Completed(k1)
+	if len(done) != 10 {
+		t.Fatalf("completed(k1) = %d records", len(done))
+	}
+	if got := done[4]; got.Class != "Benign" || got.Retired != 1004 {
+		t.Errorf("record 4 = %+v", got)
+	}
+	if len(r.Completed(k2)) != 1 {
+		t.Error("k2 records missing")
+	}
+	// A different key resumes nothing.
+	other := key("LULESH")
+	other.Seed = 8
+	if len(r.Completed(other)) != 0 {
+		t.Error("mismatched key returned records")
+	}
+}
+
+func TestJournalChunkedFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.FlushEvery = 4
+	k := key("CLAMR")
+	for i := 0; i < 6; i++ {
+		if err := j.Append(rec(k, i, "Benign")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 appends with chunk size 4: one automatic flush — the file holds
+	// at least the first chunk even though Flush was never called.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(); n < 4 || n >= 6 {
+		t.Fatalf("persisted %d records, want a flushed chunk (4..5)", n)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Create(path)
+	k := key("HPL")
+	for i := 0; i < 5; i++ {
+		j.Append(rec(k, i, "Benign"))
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write from a foreign producer.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"app":"HPL","index":5,"cla`)
+	f.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d after torn tail, want 5", r.Len())
+	}
+}
+
+func TestJournalLatestRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Create(path)
+	k := key("COMD")
+	j.Append(rec(k, 2, "C-HarnessFault"))
+	j.Append(rec(k, 2, "Benign"))
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dedup)", j.Len())
+	}
+	if got := j.Completed(k)[2]; got.Class != "Benign" {
+		t.Errorf("latest record lost: %+v", got)
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Create(path)
+	j.FlushEvery = 8
+	k := key("PENNANT")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 200; i += 4 {
+				j.Append(rec(k, i, "Benign"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Completed(k)) != 200 {
+		t.Fatalf("completed = %d, want 200", len(r.Completed(k)))
+	}
+}
+
+func TestCreateUnwritablePath(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "missing", "dir", "j.jsonl")); err == nil {
+		t.Fatal("Create accepted an unwritable path")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || j.Len() != 0 {
+		t.Fatalf("Open(missing) = %v, %v", j, err)
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{}); err != nil {
+		t.Error(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Error(err)
+	}
+	if j.Completed(Key{}) != nil || j.Len() != 0 || j.Path() != "" {
+		t.Error("nil journal not inert")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	s := key("LULESH").String()
+	for _, want := range []string{"LULESH", "LetGo-E", "n=100", "seed=7", "single-bit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Key.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/lang"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/resilience"
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -160,18 +161,37 @@ const (
 // Outcome classes (Figure 4 taxonomy).
 type OutcomeClass = outcome.Class
 
-// Outcome classes.
+// Outcome classes. CHang and HarnessFault are harness-quarantine
+// classes: they mark injections the campaign supervisor gave up on (a
+// per-injection watchdog expiry, a twice-panicking worker) rather than
+// observed program behavior, and are never produced by classification
+// itself.
 const (
-	Benign      = outcome.Benign
-	SDC         = outcome.SDC
-	Detected    = outcome.Detected
-	Crash       = outcome.Crash
-	DoubleCrash = outcome.DoubleCrash
-	CBenign     = outcome.CBenign
-	CSDC        = outcome.CSDC
-	CDetected   = outcome.CDetected
-	Hang        = outcome.Hang
+	Benign       = outcome.Benign
+	SDC          = outcome.SDC
+	Detected     = outcome.Detected
+	Crash        = outcome.Crash
+	DoubleCrash  = outcome.DoubleCrash
+	CBenign      = outcome.CBenign
+	CSDC         = outcome.CSDC
+	CDetected    = outcome.CDetected
+	Hang         = outcome.Hang
+	CHang        = outcome.CHang
+	HarnessFault = outcome.HarnessFault
 )
+
+// CampaignJournal is the append-only resume journal a Campaign can
+// persist its classified injections into (Campaign.Journal): campaigns
+// killed mid-run resume from it byte-identically. NewCampaignJournal
+// starts a fresh journal; OpenCampaignJournal loads one for resuming (a
+// missing file yields an empty journal).
+type CampaignJournal = resilience.Journal
+
+// NewCampaignJournal creates (or truncates) a resume journal at path.
+func NewCampaignJournal(path string) (*CampaignJournal, error) { return resilience.Create(path) }
+
+// OpenCampaignJournal loads an existing resume journal for resuming.
+func OpenCampaignJournal(path string) (*CampaignJournal, error) { return resilience.Open(path) }
 
 // Metrics are the Section-5.3 effectiveness metrics.
 type Metrics = outcome.Metrics
