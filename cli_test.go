@@ -1,11 +1,16 @@
 package letgo
 
 import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestToolchainRoundTrip drives the CLI toolchain end to end through real
@@ -122,5 +127,139 @@ func TestInjectAndSimCLIs(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "recommendation") {
 		t.Errorf("advise output:\n%s", out)
+	}
+}
+
+// TestObservabilityKeepsStdoutPure runs the same campaign with every
+// observability sink on and asserts stdout is byte-identical to the bare
+// run: progress, metrics, events and the serve plane all live on stderr
+// or side channels, never in the result tables.
+func TestObservabilityKeepsStdoutPure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	runSplit := func(args ...string) (string, string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	base := []string{"./cmd/letgo-inject", "-apps", "SNAP", "-n", "60", "-mode", "E"}
+	bareOut, _ := runSplit(base...)
+	obsOut, obsErr := runSplit(append(base,
+		"-progress", "-serve", "127.0.0.1:0",
+		"-metrics-out", filepath.Join(dir, "m.prom"),
+		"-events-json", filepath.Join(dir, "e.jsonl"))...)
+	if obsOut != bareOut {
+		t.Errorf("observability leaked into stdout:\n--- bare ---\n%s\n--- observed ---\n%s", bareOut, obsOut)
+	}
+	for _, want := range []string{"observability plane on http://", "inject SNAP"} {
+		if !strings.Contains(obsErr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, obsErr)
+		}
+	}
+}
+
+// TestServeModeLiveEndpoints starts a fork-engine CLAMR campaign with
+// -serve and exercises the observability plane while it runs.
+func TestServeModeLiveEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	cmd := exec.Command("go", "run", "./cmd/letgo-inject",
+		"-apps", "CLAMR", "-n", "2000", "-mode", "E", "-serve", "127.0.0.1:0")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // safety net; Wait below is the real check
+
+	// The CLI announces the bound address on stderr before the campaign
+	// starts; everything after is progress noise we drain in background.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "observability plane on http://"); i >= 0 {
+				addr := line[i+len("observability plane on http://"):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve address never announced")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+	// Mid-campaign the span taxonomy is live with exact quantiles.
+	deadline := time.Now().Add(30 * time.Second)
+	var metrics string
+	for time.Now().Before(deadline) {
+		metrics = get("/metrics")
+		if strings.Contains(metrics, `letgo_span_duration_seconds{span="execute",quantile="0.99"}`) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`letgo_span_duration_seconds{span="compile",quantile="0.5"}`,
+		`letgo_span_duration_seconds{span="golden",quantile="0.95"}`,
+		`letgo_span_duration_seconds{span="plan",quantile="0.5"}`,
+		`letgo_span_duration_seconds{span="execute",quantile="0.99"}`,
+		`letgo_span_duration_seconds{span="classify",quantile="0.95"}`,
+		"letgo_outcomes_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	status := get("/status")
+	for _, want := range []string{`"app": "CLAMR"`, `"mode": "LetGo-E"`, `"n": 2000`} {
+		if !strings.Contains(status, want) {
+			t.Errorf("/status missing %q:\n%s", want, status)
+		}
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("campaign exit: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "CLAMR") {
+		t.Errorf("result table missing from stdout:\n%s", stdout.String())
 	}
 }

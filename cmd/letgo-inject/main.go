@@ -30,6 +30,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/inject"
 	"github.com/letgo-hpc/letgo/internal/obs"
+	"github.com/letgo-hpc/letgo/internal/obs/serve"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/report"
 	"github.com/letgo-hpc/letgo/internal/resilience"
@@ -62,6 +63,11 @@ var journal *resilience.Journal
 // watchdogSel is the -watchdog per-injection wall-clock bound.
 var watchdogSel time.Duration
 
+// plane is the -serve observability server; nil without the flag. Closed
+// explicitly on every exit path (main leaves through os.Exit, so defers
+// would not run) to end SSE streams cleanly.
+var plane *serve.Server
+
 // progressTally accumulates completion across the campaigns that ran, for
 // the interrupted banner.
 var progressTally struct {
@@ -81,6 +87,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
 	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
 	progress := flag.Bool("progress", false, "render live campaign progress on stderr")
+	serveAddr := flag.String("serve", "", "serve the live observability plane on this address (/metrics, /events, /status, /healthz, /debug/pprof)")
 	journalPath := flag.String("journal", "", "append completed injections to this JSONL journal (crash-safe; enables -resume)")
 	resume := flag.Bool("resume", false, "restore completed injections from the -journal file instead of re-executing them")
 	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound; expired injections are quarantined as C-Hang (0 = off)")
@@ -101,8 +108,17 @@ func main() {
 		fatal(err)
 	}
 
-	if telem, err = obs.OpenSinks(*metricsOut, *eventsJSON, *progress); err != nil {
+	if telem, err = obs.Open(obs.Options{
+		MetricsOut: *metricsOut, EventsJSON: *eventsJSON,
+		Progress: *progress, Serve: *serveAddr != "",
+	}); err != nil {
 		fatal(err)
+	}
+	if *serveAddr != "" {
+		if plane, err = serve.ForSinks(*serveAddr, telem); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "letgo-inject: observability plane on http://%s (metrics, events, status, healthz, debug/pprof)\n", plane.Addr())
 	}
 
 	if *resume && *journalPath == "" {
@@ -153,6 +169,7 @@ func main() {
 	if err := telem.Close(); err != nil {
 		fatal(err)
 	}
+	plane.Close()
 	if progressTally.interrupted || runCtx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "letgo-inject: interrupted: %d/%d injections completed",
 			progressTally.completed, progressTally.total)
@@ -270,7 +287,7 @@ func mustRun(c *inject.Campaign) *inject.Result {
 	c.Watchdog = watchdogSel
 	if telem.Enabled() {
 		c.Obs = telem.Hub
-		c.Observer = inject.NewObsObserver(c.App.Name, c.N, telem.Hub, telem.Progress)
+		c.Observer = inject.NewObsObserver(c.App.Name, c.Mode, c.N, telem.Hub, telem.Progress, telem.Status)
 	}
 	r, err := c.RunContext(runCtx)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -293,6 +310,7 @@ func mustRun(c *inject.Campaign) *inject.Result {
 }
 
 func fatal(err error) {
+	plane.Close()
 	fmt.Fprintln(os.Stderr, "letgo-inject:", err)
 	os.Exit(exitErr)
 }

@@ -28,6 +28,7 @@ import (
 	"github.com/letgo-hpc/letgo/internal/checkpoint"
 	"github.com/letgo-hpc/letgo/internal/inject"
 	"github.com/letgo-hpc/letgo/internal/obs"
+	"github.com/letgo-hpc/letgo/internal/obs/serve"
 	"github.com/letgo-hpc/letgo/internal/report"
 	"github.com/letgo-hpc/letgo/internal/resilience"
 	"github.com/letgo-hpc/letgo/internal/stats"
@@ -37,6 +38,11 @@ import (
 // -events-json, -progress); all-off by default so the stdout figures
 // are byte-identical without the flags.
 var telem *obs.Sinks
+
+// plane is the -serve observability server; nil without the flag. Closed
+// explicitly in the os.Exit paths (fatal/interrupted) where defers don't
+// run, so SSE streams end cleanly.
+var plane *serve.Server
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate a paper figure: 7 or 8 (0 = single configuration)")
@@ -53,6 +59,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics dump on exit (Prometheus text; JSON when the path ends in .json)")
 	eventsJSON := flag.String("events-json", "", "stream structured JSONL events to this file")
 	progress := flag.Bool("progress", false, "render live simulation progress on stderr")
+	serveAddr := flag.String("serve", "", "serve the live observability plane on this address (/metrics, /events, /status, /healthz, /debug/pprof)")
 	journalPath := flag.String("journal", "", "journal for -seed-source measured campaigns (crash-safe JSONL; enables -resume)")
 	resume := flag.Bool("resume", false, "restore completed injections from the -journal file instead of re-executing them")
 	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound for measured campaigns (0 = off)")
@@ -63,8 +70,18 @@ func main() {
 		fatal(err)
 	}
 
-	if telem, err = obs.OpenSinks(*metricsOut, *eventsJSON, *progress); err != nil {
+	if telem, err = obs.Open(obs.Options{
+		MetricsOut: *metricsOut, EventsJSON: *eventsJSON,
+		Progress: *progress, Serve: *serveAddr != "",
+	}); err != nil {
 		fatal(err)
+	}
+	if *serveAddr != "" {
+		if plane, err = serve.ForSinks(*serveAddr, telem); err != nil {
+			fatal(err)
+		}
+		defer plane.Close()
+		fmt.Fprintf(os.Stderr, "letgo-sim: observability plane on http://%s (metrics, events, status, healthz, debug/pprof)\n", plane.Addr())
 	}
 
 	if *resume && *journalPath == "" {
@@ -188,6 +205,7 @@ var errInterrupted = errors.New("measured campaign interrupted; rerun with -resu
 
 // interrupted prints the resume hint and exits with the interrupted code.
 func interrupted(j *resilience.Journal) {
+	plane.Close()
 	msg := "letgo-sim: interrupted"
 	if j != nil {
 		msg += fmt.Sprintf(" (resume with -resume -journal %s)", j.Path())
@@ -215,7 +233,7 @@ func resolveProbabilities(ctx context.Context, source, appName string, n int, se
 		}
 		if telem.Enabled() {
 			c.Obs = telem.Hub
-			c.Observer = inject.NewObsObserver(a.Name, n, telem.Hub, telem.Progress)
+			c.Observer = inject.NewObsObserver(a.Name, inject.LetGoE, n, telem.Hub, telem.Progress, telem.Status)
 		}
 		r, err := c.RunContext(ctx)
 		if err != nil {
@@ -230,6 +248,7 @@ func resolveProbabilities(ctx context.Context, source, appName string, n int, se
 }
 
 func fatal(err error) {
+	plane.Close()
 	fmt.Fprintln(os.Stderr, "letgo-sim:", err)
 	os.Exit(1)
 }

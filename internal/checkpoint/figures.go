@@ -24,6 +24,7 @@ const DefaultHorizon = 10 * 365 * 24 * 3600.0
 // the model parameters, runs both arms on RNG streams split from a single
 // seeded source, and records the efficiency pair.
 func sweep(xs []float64, params func(x float64) (Params, error), seed uint64, horizon float64, tr Tracer) ([]Point, error) {
+	defer startSpan(tr, "checkpoint_sweep").End()
 	rng := stats.NewRNG(seed)
 	out := make([]Point, 0, len(xs))
 	for _, x := range xs {

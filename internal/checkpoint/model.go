@@ -209,6 +209,7 @@ func Simulate(p Params, rng *stats.RNG, horizon float64, letgo bool, tr Tracer) 
 	if letgo {
 		arm = ArmLetGo
 	}
+	defer startSpan(tr, "checkpoint_simulate", "arm", arm).End()
 	clock := faultClock{rng: rng, mean: p.MTBFaults, shape: p.WeibullShape}
 
 	var res Result

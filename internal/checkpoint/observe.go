@@ -4,6 +4,24 @@ import (
 	"github.com/letgo-hpc/letgo/internal/obs"
 )
 
+// SpanTracer is an optional Tracer extension: tracers that also carry a
+// span clock get the Simulate and Sweep phases wrapped in spans
+// (checkpoint_simulate per arm, checkpoint_sweep per figure sweep), so
+// the observability plane's per-phase latency histograms cover the
+// Section-7 machinery too.
+type SpanTracer interface {
+	Tracer
+	StartSpan(name string, attrs ...string) *obs.Span
+}
+
+// startSpan opens a span on tr when it is a SpanTracer (nil-safe).
+func startSpan(tr Tracer, name string, attrs ...string) *obs.Span {
+	if st, ok := tr.(SpanTracer); ok {
+		return st.StartSpan(name, attrs...)
+	}
+	return nil
+}
+
 // obsTracer mirrors simulator transitions into a hub's metric registry
 // and event stream and (optionally) a live progress reporter.
 type obsTracer struct {
@@ -23,6 +41,11 @@ func NewObsTracer(hub *obs.Hub, prog *obs.Progress) Tracer {
 		hub.Reg.Help("letgo_sim_useful_seconds", "Running verified useful work, by arm.")
 	}
 	return &obsTracer{hub: hub, prog: prog}
+}
+
+// StartSpan makes obsTracer a SpanTracer, delegating to its hub.
+func (o *obsTracer) StartSpan(name string, attrs ...string) *obs.Span {
+	return o.hub.StartSpan(name, attrs...)
 }
 
 func (o *obsTracer) Transition(arm, from, to string, cost, useful float64) {

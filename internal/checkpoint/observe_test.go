@@ -91,8 +91,19 @@ func TestObsTracerRecordsTransitions(t *testing.T) {
 	if transitions == 0 {
 		t.Fatal("no transitions counted")
 	}
-	if hub.Em.Seq() != transitions {
-		t.Errorf("events %d != counted transitions %d", hub.Em.Seq(), transitions)
+	// Each arm's Simulate also emits one checkpoint_simulate span event;
+	// everything else on the stream is a transition.
+	var spans uint64
+	for _, h := range hub.Reg.Snapshot().Histograms {
+		if h.Name == obs.SpanHistogram {
+			spans += h.Count
+		}
+	}
+	if spans != 2 {
+		t.Errorf("span events = %d, want 2 (one checkpoint_simulate per arm)", spans)
+	}
+	if hub.Em.Seq() != transitions+spans {
+		t.Errorf("events %d != transitions %d + spans %d", hub.Em.Seq(), transitions, spans)
 	}
 	// The final cost gauges match the Results.
 	if got := hub.Reg.Gauge("letgo_sim_useful_seconds", "arm", ArmStandard).Value(); got > std.Cost {

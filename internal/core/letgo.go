@@ -324,6 +324,15 @@ func (r *Runner) instrumentRepair(ev Event) {
 	}
 	hub.Histogram("letgo_repair_duration_seconds", obs.ExpBuckets(1e-7, 10, 8)).
 		Observe(ev.Duration.Seconds())
+	// Mirror the repair into the span taxonomy (it is already timed, so
+	// record it directly instead of opening a second clock).
+	hub.Histogram(obs.SpanHistogram, obs.SpanBuckets, "span", "repair").
+		Observe(ev.Duration.Seconds())
+	hub.Emit(obs.SpanEvent{
+		Name:    "repair",
+		Attrs:   map[string]string{"signal": ev.Signal.String()},
+		Seconds: ev.Duration.Seconds(),
+	})
 	for _, h := range heuristicNames {
 		if ev.Actions&h.flag != 0 {
 			hub.Counter("letgo_heuristic_applications_total", "heuristic", h.name).Inc()

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/pin"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
@@ -69,6 +70,14 @@ type Golden struct {
 // `every` retired instructions (0 selects DefaultWaypointEvery). It fails
 // if the fault-free program traps or does not halt within budget.
 func Record(prog *isa.Program, cfg vm.Config, every, budget uint64) (*Golden, error) {
+	return RecordObs(prog, cfg, every, budget, nil)
+}
+
+// RecordObs is Record with optional observability: the recording is
+// wrapped in a golden_record span and the resulting waypoint count and
+// golden length land in hub's registry. A nil hub records nothing.
+func RecordObs(prog *isa.Program, cfg vm.Config, every, budget uint64, hub *obs.Hub) (*Golden, error) {
+	defer hub.StartSpan("golden_record").End()
 	if every == 0 {
 		every = DefaultWaypointEvery
 	}
@@ -109,6 +118,10 @@ func Record(prog *isa.Program, cfg vm.Config, every, budget uint64) (*Golden, er
 	}
 	g.Final = m
 	g.Retired = m.Retired
+	if hub != nil {
+		hub.Gauge("letgo_engine_waypoints").Set(float64(len(g.waypoints)))
+		hub.Gauge("letgo_engine_golden_retired_instructions").Set(float64(g.Retired))
+	}
 	return g, nil
 }
 

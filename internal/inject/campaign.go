@@ -66,6 +66,7 @@ const (
 	PhaseCompile = "compile"
 	PhaseGolden  = "golden"
 	PhaseProfile = "profile"
+	PhasePlan    = "plan"
 	PhaseInject  = "inject"
 )
 
@@ -289,13 +290,16 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 		return nil, err
 	}
 	c.registerMetrics()
+	campaignStart := time.Now()
 
 	setPhase(PhaseCompile)
+	spCompile := c.Obs.StartSpan("compile", "app", c.App.Name)
 	prog, err := c.App.Compile()
 	if err != nil {
 		return nil, err
 	}
 	an := pin.Analyze(prog)
+	spCompile.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -304,6 +308,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	// engine records it once with waypoint snapshots; the rerun engine
 	// executes it plainly (and will pay a second execution for profiling).
 	setPhase(PhaseGolden)
+	spGolden := c.Obs.StartSpan("golden", "app", c.App.Name, "engine", c.Engine.String())
 	var gold *engine.Golden
 	var gm *vm.Machine
 	const profileBudget = 1 << 32
@@ -315,7 +320,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
 		}
 	} else {
-		if gold, err = engine.Record(prog, vm.Config{}, c.WaypointEvery, profileBudget); err != nil {
+		if gold, err = engine.RecordObs(prog, vm.Config{}, c.WaypointEvery, profileBudget, c.Obs); err != nil {
 			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
 		}
 		gm = gold.Final
@@ -336,6 +341,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 		return nil, err
 	}
 	budget := uint64(float64(gm.Retired)*factor) + 100_000
+	spGolden.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -343,6 +349,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	// Profiling phase (Section 5.4). The fork engine observed the profile
 	// while recording; the rerun engine runs the program again to count.
 	setPhase(PhaseProfile)
+	spProfile := c.Obs.StartSpan("profile", "app", c.App.Name, "engine", c.Engine.String())
 	var prof *pin.Profile
 	if c.Engine == EngineRerun {
 		if prof, err = an.ProfileRun(vm.Config{}, profileBudget); err != nil {
@@ -351,9 +358,12 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	} else {
 		prof = gold.Profile()
 	}
+	spProfile.End()
 
 	// Pre-sample all plans from the root RNG so results do not depend on
 	// worker scheduling.
+	setPhase(PhasePlan)
+	spPlan := c.Obs.StartSpan("plan", "app", c.App.Name)
 	rng := stats.NewRNG(c.Seed)
 	plans := make([]Plan, c.N)
 	for i := range plans {
@@ -364,6 +374,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 			c.Observer.Planned(i, plans[i])
 		}
 	}
+	spPlan.End()
 
 	workers := c.Workers
 	if workers <= 0 {
@@ -377,6 +388,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	}
 
 	setPhase(PhaseInject)
+	spInject := c.Obs.StartSpan("inject", "app", c.App.Name, "engine", c.Engine.String())
 	results := make([]injResult, c.N)
 	completed := make([]bool, c.N)
 	resumed, err := c.restoreFromJournal(results, completed)
@@ -393,6 +405,7 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	spInject.End()
 	if ferr := c.Journal.Flush(); ferr != nil {
 		return nil, ferr
 	}
@@ -441,6 +454,10 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	if res.Counts.N > 0 {
 		res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
 	}
+	if c.Obs != nil {
+		c.Obs.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name).
+			Set(time.Since(campaignStart).Seconds())
+	}
 	if c.Observer != nil {
 		c.Observer.Done(res)
 	}
@@ -478,6 +495,19 @@ func (c *Campaign) registerMetrics() {
 	for _, r := range []string{quarWatchdog, quarPanic} {
 		reg.Counter("letgo_quarantine_total", "reason", r)
 	}
+	reg.Help("letgo_campaign_duration_seconds", "Wall-clock duration of the whole campaign, by app.")
+	reg.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name)
+	reg.Help("letgo_outcomes_total", "Classified injections by Figure-4 class, across all apps of the invocation.")
+	for _, cl := range []outcome.Class{
+		outcome.Benign, outcome.SDC, outcome.Detected, outcome.Crash,
+		outcome.DoubleCrash, outcome.CBenign, outcome.CSDC, outcome.CDetected,
+		outcome.Hang, outcome.CHang, outcome.HarnessFault,
+	} {
+		// Materialize every class so dumps and /metrics carry explicit
+		// zeros that line up with the rendered table columns.
+		reg.Counter("letgo_outcomes_total", "class", cl.String())
+	}
+	reg.Help(obs.SpanHistogram, "Lifecycle span durations in seconds, by span name.")
 }
 
 // restoreFromJournal fills results with this campaign's journaled
@@ -487,6 +517,11 @@ func (c *Campaign) restoreFromJournal(results []injResult, completed []bool) (in
 		return 0, nil
 	}
 	done := c.Journal.Completed(c.journalKey())
+	// Observers that track live status learn about restored injections
+	// through the optional Restored extension (obsObserver implements it).
+	restoredObs, _ := c.Observer.(interface {
+		Restored(index int, class outcome.Class)
+	})
 	resumed := 0
 	for i, rec := range done {
 		if i < 0 || i >= c.N {
@@ -499,6 +534,14 @@ func (c *Campaign) restoreFromJournal(results []injResult, completed []bool) (in
 		results[i] = r
 		completed[i] = true
 		resumed++
+		if c.Obs != nil {
+			// Keep the engine-independent class tally aligned with the
+			// table a resumed campaign will render.
+			c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
+		}
+		if restoredObs != nil {
+			restoredObs.Restored(i, r.class)
+		}
 	}
 	if resumed > 0 && c.Obs != nil {
 		c.Obs.Counter("letgo_resume_skipped_total").Add(uint64(resumed))
@@ -520,6 +563,7 @@ func (c *Campaign) runRerun(ctx context.Context, prog *isa.Program, an *pin.Anal
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "rerun").End()
 			for i := w; i < c.N; i += workers {
 				if failed.Load() || ctx.Err() != nil {
 					return
@@ -594,7 +638,9 @@ func (c *Campaign) forkOne(gold *engine.Golden, an *pin.Analysis, plan Plan, bud
 	out.saved += replayFrom
 	runM := cur.Fork()
 	out.forks++
+	spExec := c.Obs.StartSpan("execute", "engine", "fork")
 	ro, err := executeAt(gold.Prog, an, plan, c.Mode, c.Opts, budget, c.Obs, runM)
+	spExec.End()
 	if err != nil {
 		return out, err
 	}
@@ -647,6 +693,7 @@ func (c *Campaign) runFork(ctx context.Context, gold *engine.Golden, an *pin.Ana
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "fork").End()
 			chunk := order[w*len(order)/workers : (w+1)*len(order)/workers]
 			var cur *vm.Machine
 			var curDbg *debug.Debugger
@@ -728,6 +775,12 @@ func (c *Campaign) quarantine(i int, reason, stack string) injResult {
 
 // finish journals and reports one classified injection.
 func (c *Campaign) finish(i, w int, r injResult, quar, stack string) {
+	// Engine-independent per-class tally: both engines route every
+	// classified injection through here, so /metrics agrees with the
+	// rendered table.
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
+	}
 	if c.Journal != nil {
 		// Append errors are not fatal mid-campaign: the record stays in
 		// memory and the terminal Flush (whose error does surface)
@@ -806,7 +859,9 @@ type injResult struct {
 
 // one executes and classifies a single injection on the rerun engine.
 func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (injResult, error) {
+	spExec := c.Obs.StartSpan("execute", "engine", "rerun")
 	ro, err := executeHub(prog, an, plan, c.Mode, c.Opts, budget, c.Obs)
+	spExec.End()
 	if err != nil {
 		return injResult{}, err
 	}
@@ -822,6 +877,7 @@ func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget ui
 // machines' worth of dirty pages is the difference between a flat and a
 // linearly growing footprint).
 func (c *Campaign) classify(ro *RunOutcome, golden []float64) (injResult, uint64, error) {
+	defer c.Obs.StartSpan("classify").End()
 	rec := outcome.RunRecord{
 		Finished: ro.Finished,
 		Hang:     ro.Hang,

@@ -510,7 +510,7 @@ func TestCampaignObserverDeterminism(t *testing.T) {
 	observed := &Campaign{
 		App: a, Mode: LetGoE, N: 60, Seed: 99, Workers: 2,
 		Obs:      hub,
-		Observer: NewObsObserver(a.Name, 60, hub, prog),
+		Observer: NewObsObserver(a.Name, LetGoE, 60, hub, prog, nil),
 	}
 	r2, err := observed.Run()
 	if err != nil {
@@ -584,7 +584,7 @@ func TestCampaignObserverCallbacks(t *testing.T) {
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{PhaseCompile, PhaseGolden, PhaseProfile, PhaseInject}
+	want := []string{PhaseCompile, PhaseGolden, PhaseProfile, PhasePlan, PhaseInject}
 	if len(rec.phases) != len(want) {
 		t.Fatalf("phases = %v", rec.phases)
 	}

@@ -8,30 +8,35 @@ import (
 )
 
 // obsObserver records campaign activity into a hub's metrics and event
-// stream and drives an optional live progress reporter. All callbacks are
+// stream and drives an optional live progress reporter and an optional
+// live status tracker (the /status endpoint's source). All callbacks are
 // concurrency-safe (the hub's primitives are atomic or mutexed).
 type obsObserver struct {
-	app  string
-	n    int
-	hub  *obs.Hub
-	prog *obs.Progress
+	app    string
+	n      int
+	hub    *obs.Hub
+	prog   *obs.Progress
+	status *obs.CampaignStatus
 }
 
 // NewObsObserver returns an Observer that mirrors a campaign of n
-// injections against the named app into hub (metrics and JSONL events)
-// and prog (live progress). Either sink may be nil.
-func NewObsObserver(app string, n int, hub *obs.Hub, prog *obs.Progress) Observer {
-	o := &obsObserver{app: app, n: n, hub: hub, prog: prog}
+// injections against the named app (running in the given mode) into hub
+// (metrics and JSONL events), prog (live progress) and status (the
+// /status snapshot source). Any sink may be nil.
+func NewObsObserver(app string, mode Mode, n int, hub *obs.Hub, prog *obs.Progress, status *obs.CampaignStatus) Observer {
+	o := &obsObserver{app: app, n: n, hub: hub, prog: prog, status: status}
 	if hub != nil && hub.Reg != nil {
 		hub.Reg.Help("letgo_injections_total", "Classified injections, by app and Figure-4 class.")
 		hub.Reg.Help("letgo_crash_latency_instructions", "Injection-to-crash distance in dynamic instructions.")
 		hub.Reg.Help("letgo_worker_injections_total", "Injections executed, by campaign worker.")
 	}
+	status.Begin(app, mode.String(), n)
 	return o
 }
 
 func (o *obsObserver) Phase(phase string) {
 	o.hub.Emit(obs.PhaseEvent{App: o.app, Phase: phase})
+	o.status.SetPhase(phase)
 	if phase == PhaseInject {
 		o.prog.Start("inject "+o.app, o.n)
 	}
@@ -65,7 +70,16 @@ func (o *obsObserver) Executed(e Execution) {
 		o.hub.Histogram("letgo_crash_latency_instructions", latencyBuckets).
 			Observe(float64(e.Latency))
 	}
+	o.status.Record(e.Class.String(), e.Class.Quarantined())
 	o.prog.Step(e.Class.String())
+}
+
+// Restored mirrors a journal-restored injection into the status tracker
+// (the campaign calls it through the optional Restored extension). No
+// events, metrics or progress fire for restored work beyond the campaign-
+// level resume record.
+func (o *obsObserver) Restored(index int, class outcome.Class) {
+	o.status.RecordRestored(class.String(), class.Quarantined())
 }
 
 func (o *obsObserver) Done(res *Result) {
@@ -85,11 +99,13 @@ func (o *obsObserver) Done(res *Result) {
 		App: o.app, N: res.N, Completed: res.Completed,
 		Resumed: res.Resumed, Interrupted: res.Interrupted,
 	})
+	o.status.Done(res.Interrupted)
 	o.prog.Finish()
 }
 
 func (o *obsObserver) Failed(phase string, err error) {
 	o.hub.Emit(obs.CampaignFailedEvent{App: o.app, Phase: phase, Error: err.Error()})
+	o.status.Failed()
 	o.prog.Finish()
 }
 

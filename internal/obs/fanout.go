@@ -1,0 +1,142 @@
+package obs
+
+import "sync"
+
+// DefaultSubscriberBuffer is the per-subscriber event buffer used when a
+// Subscribe caller passes 0.
+const DefaultSubscriberBuffer = 256
+
+// Message is one event line delivered to a fan-out subscriber. ID is the
+// 1-based position of the event in the stream, usable as an SSE event id
+// so clients can detect gaps after a reconnect.
+type Message struct {
+	ID   uint64
+	Data []byte // one JSONL envelope, without the trailing newline
+}
+
+// Fanout broadcasts the JSONL event stream to any number of live
+// subscribers, each behind its own bounded buffer. It implements
+// io.Writer so it can sit behind an Emitter (alone or in an
+// io.MultiWriter next to the -events-json file): every Write call is one
+// event line.
+//
+// Delivery is strictly non-blocking: a subscriber whose buffer is full is
+// evicted (its channel is closed) rather than allowed to stall the
+// emitting campaign worker, and the eviction is counted. There is no
+// replay — a subscriber only sees events emitted after it joined; the
+// monotonic message IDs let consumers detect the gap.
+type Fanout struct {
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	seq       uint64
+	delivered uint64
+	dropped   uint64
+}
+
+// Subscription is one subscriber's handle on a Fanout.
+type Subscription struct {
+	f      *Fanout
+	ch     chan Message
+	closed bool // guarded by f.mu
+}
+
+// NewFanout returns an empty fan-out hub.
+func NewFanout() *Fanout {
+	return &Fanout{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe registers a new subscriber with a buffer of buf messages
+// (0 selects DefaultSubscriberBuffer). A nil Fanout returns nil; a nil
+// Subscription's methods are no-ops with a nil Events channel.
+func (f *Fanout) Subscribe(buf int) *Subscription {
+	if f == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	s := &Subscription{f: f, ch: make(chan Message, buf)}
+	f.mu.Lock()
+	f.subs[s] = struct{}{}
+	f.mu.Unlock()
+	return s
+}
+
+// Events returns the subscriber's delivery channel. The channel is closed
+// when the subscription is evicted as a slow consumer or closed.
+func (s *Subscription) Events() <-chan Message {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Close unsubscribes. It is idempotent and safe to call after an
+// eviction.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		delete(s.f.subs, s)
+		close(s.ch)
+	}
+}
+
+// Write broadcasts one event line to every subscriber. It never blocks
+// and never fails: subscribers that cannot keep up are evicted. The
+// trailing newline the Emitter appends is stripped, and the payload is
+// copied once per call (subscribers share the copy read-only).
+func (f *Fanout) Write(p []byte) (int, error) {
+	if f == nil {
+		return len(p), nil
+	}
+	line := p
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	if len(f.subs) == 0 {
+		return len(p), nil
+	}
+	data := append([]byte(nil), line...)
+	msg := Message{ID: f.seq, Data: data}
+	for s := range f.subs {
+		select {
+		case s.ch <- msg:
+			f.delivered++
+		default:
+			s.closed = true
+			delete(f.subs, s)
+			close(s.ch)
+			f.dropped++
+		}
+	}
+	return len(p), nil
+}
+
+// Stats reports the live subscriber count, total messages delivered, and
+// total slow-consumer evictions.
+func (f *Fanout) Stats() (subscribers int, delivered, dropped uint64) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs), f.delivered, f.dropped
+}
+
+// Seq returns the number of events broadcast so far.
+func (f *Fanout) Seq() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFanoutDeliversInOrder(t *testing.T) {
+	f := NewFanout()
+	sub := f.Subscribe(8)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte(fmt.Sprintf("event %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		msg := <-sub.Events()
+		if msg.ID != uint64(i+1) {
+			t.Errorf("msg %d has id %d", i, msg.ID)
+		}
+		if want := fmt.Sprintf("event %d", i); string(msg.Data) != want {
+			t.Errorf("msg %d = %q, want %q (newline must be stripped)", i, msg.Data, want)
+		}
+	}
+	sub.Close()
+	if _, ok := <-sub.Events(); ok {
+		t.Error("channel open after Close")
+	}
+	sub.Close() // idempotent
+	if subs, delivered, dropped := f.Stats(); subs != 0 || delivered != 3 || dropped != 0 {
+		t.Errorf("stats = %d/%d/%d, want 0/3/0", subs, delivered, dropped)
+	}
+}
+
+func TestFanoutEvictsSlowConsumer(t *testing.T) {
+	f := NewFanout()
+	slow := f.Subscribe(2)  // never drained
+	fast := f.Subscribe(16) // keeps up
+	for i := 0; i < 5; i++ {
+		f.Write([]byte("x\n"))
+		<-fast.Events() // drain one
+	}
+	// The slow subscriber's buffer (2) overflowed at write 3: it must be
+	// evicted with a closed channel, not stall the writer.
+	drained := 0
+	for range slow.Events() {
+		drained++
+	}
+	if drained != 2 {
+		t.Errorf("slow consumer drained %d buffered messages, want 2", drained)
+	}
+	subs, _, dropped := f.Stats()
+	if subs != 1 {
+		t.Errorf("%d subscribers left, want 1 (fast)", subs)
+	}
+	if dropped == 0 {
+		t.Error("eviction not counted in dropped")
+	}
+	slow.Close() // safe after eviction
+	if f.Seq() != 5 {
+		t.Errorf("seq = %d, want 5", f.Seq())
+	}
+}
+
+// TestFanoutConcurrency exercises concurrent writes, subscribes,
+// unsubscribes and drains under -race.
+func TestFanoutConcurrency(t *testing.T) {
+	f := NewFanout()
+	var wg sync.WaitGroup
+	// Writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Write([]byte("line\n"))
+			}
+		}()
+	}
+	// Churning subscribers: join, drain whatever is buffered, leave.
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(buf int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub := f.Subscribe(buf)
+				for j := 0; j < 5; j++ {
+					select {
+					case <-sub.Events():
+					default:
+					}
+				}
+				sub.Close()
+			}
+		}(1 + s%4)
+	}
+	wg.Wait()
+	if f.Seq() != 2000 {
+		t.Errorf("seq = %d, want 2000", f.Seq())
+	}
+	if subs, _, _ := f.Stats(); subs != 0 {
+		t.Errorf("%d subscribers leaked", subs)
+	}
+}
+
+func TestFanoutNilSafe(t *testing.T) {
+	var f *Fanout
+	if _, err := f.Write([]byte("x\n")); err != nil {
+		t.Error(err)
+	}
+	sub := f.Subscribe(4)
+	if sub != nil {
+		t.Error("nil fanout returned a subscription")
+	}
+	sub.Close()
+	if sub.Events() != nil {
+		t.Error("nil subscription has a channel")
+	}
+	if subs, delivered, dropped := f.Stats(); subs != 0 || delivered != 0 || dropped != 0 {
+		t.Error("nil fanout has stats")
+	}
+	if f.Seq() != 0 {
+		t.Error("nil fanout has a sequence")
+	}
+}

@@ -344,8 +344,9 @@ type Bucket struct {
 	Count      uint64  `json:"count"`
 }
 
-// HistogramValue is one histogram in a snapshot. P50/P90/P99 are exact
-// quantiles over the retained raw samples (the first 4096 observations).
+// HistogramValue is one histogram in a snapshot. P50/P90/P95/P99 are
+// exact quantiles over the retained raw samples (the first 4096
+// observations).
 type HistogramValue struct {
 	Name    string            `json:"name"`
 	Labels  map[string]string `json:"labels,omitempty"`
@@ -354,6 +355,7 @@ type HistogramValue struct {
 	Buckets []Bucket          `json:"buckets"`
 	P50     float64           `json:"p50"`
 	P90     float64           `json:"p90"`
+	P95     float64           `json:"p95"`
 	P99     float64           `json:"p99"`
 }
 
@@ -422,8 +424,17 @@ func (h *Histogram) snapshot(name string, labels []string) HistogramValue {
 	h.mu.Unlock()
 	hv.P50 = stats.Quantile(samples, 0.50)
 	hv.P90 = stats.Quantile(samples, 0.90)
+	hv.P95 = stats.Quantile(samples, 0.95)
 	hv.P99 = stats.Quantile(samples, 0.99)
 	return hv
+}
+
+// quantiles returns exact p50/p95/p99 over the retained raw samples.
+func (h *Histogram) quantiles() (p50, p95, p99 float64) {
+	h.mu.Lock()
+	samples := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	return stats.Quantile(samples, 0.50), stats.Quantile(samples, 0.95), stats.Quantile(samples, 0.99)
 }
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -481,6 +492,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					f.name, promLabels(m.labels, "le", "+Inf"), h.count.Load())
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, promLabels(m.labels), formatFloat(h.sum.Value()))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(m.labels), h.count.Load())
+				// Exact quantiles over the retained raw samples, as
+				// summary-style series next to the bucket expansion.
+				p50, p95, p99 := h.quantiles()
+				for _, q := range [...]struct {
+					q string
+					v float64
+				}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, promLabels(m.labels, "quantile", q.q), formatFloat(q.v))
+				}
 			}
 		}
 	}

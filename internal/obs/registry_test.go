@@ -41,6 +41,9 @@ letgo_crash_latency_instructions_bucket{le="100"} 4
 letgo_crash_latency_instructions_bucket{le="+Inf"} 5
 letgo_crash_latency_instructions_sum 1055.5
 letgo_crash_latency_instructions_count 5
+letgo_crash_latency_instructions{quantile="0.5"} 3
+letgo_crash_latency_instructions{quantile="0.95"} 1000
+letgo_crash_latency_instructions{quantile="0.99"} 1000
 # HELP letgo_vm_traps_total Machine exceptions raised, by signal.
 # TYPE letgo_vm_traps_total counter
 letgo_vm_traps_total{signal="SIGBUS"} 1
@@ -74,8 +77,8 @@ func TestWriteJSONGolden(t *testing.T) {
 		t.Errorf("histogram count/sum: %+v", hv)
 	}
 	// Quantiles over the retained raw samples {0.5, 2, 3, 50, 1000}.
-	if hv.P50 != 3 || hv.P90 != 1000 || hv.P99 != 1000 {
-		t.Errorf("quantiles: p50=%v p90=%v p99=%v", hv.P50, hv.P90, hv.P99)
+	if hv.P50 != 3 || hv.P90 != 1000 || hv.P95 != 1000 || hv.P99 != 1000 {
+		t.Errorf("quantiles: p50=%v p90=%v p95=%v p99=%v", hv.P50, hv.P90, hv.P95, hv.P99)
 	}
 	// Buckets are cumulative.
 	if hv.Buckets[2].Count != 4 {

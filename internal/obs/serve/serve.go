@@ -1,0 +1,182 @@
+// Package serve is the embeddable HTTP observability plane over the
+// internal/obs sinks: live Prometheus metrics, an SSE fan-out of the
+// structured event stream, a JSON campaign-status snapshot, a health
+// probe, and net/http/pprof — everything a long-running campaign needs to
+// be watched without touching its stdout tables.
+//
+// The server is strictly read-only with respect to the campaign: every
+// endpoint renders from the passive obs sinks, so serving changes nothing
+// about what the instrumented code computes.
+//
+// Endpoints:
+//
+//	GET /metrics      Prometheus text exposition, rendered live
+//	GET /events       Server-Sent Events stream of the JSONL event stream
+//	GET /status       JSON obs.StatusSnapshot of the running campaign
+//	GET /healthz      "ok" (200) while the process is up
+//	GET /debug/pprof/ standard pprof index (profile, heap, trace, ...)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/obs"
+)
+
+// Config wires the obs sinks into a server. Any field may be nil: the
+// corresponding endpoint degrades gracefully (empty metrics, 404 events,
+// zero status) instead of failing.
+type Config struct {
+	// Registry backs /metrics.
+	Registry *obs.Registry
+	// Fanout backs /events; each subscriber gets its own bounded buffer.
+	Fanout *obs.Fanout
+	// Status backs /status.
+	Status *obs.CampaignStatus
+	// SubscriberBuffer overrides the per-subscriber event buffer
+	// (0 selects obs.DefaultSubscriberBuffer).
+	SubscriberBuffer int
+}
+
+// Server is a running observability plane.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+	// done is closed by Close so long-lived SSE handlers return without
+	// waiting for the shutdown grace period.
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// the observability plane until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{cfg: cfg, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/status", s.status)
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// ForSinks starts a server over a tool's opened sinks. The sinks must
+// have been opened with Options.Serve set (so the registry, fan-out and
+// status tracker exist); missing pieces degrade per Config.
+func ForSinks(addr string, s *obs.Sinks) (*Server, error) {
+	cfg := Config{Fanout: s.Fanout, Status: s.Status}
+	if s.Hub != nil {
+		cfg.Registry = s.Hub.Reg
+	}
+	return Start(addr, cfg)
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+// SSE streams are terminated by the shutdown. Safe on nil and idempotent.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		close(s.done)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			// A connection lingered past the grace period; force-close it.
+			s.srv.Close()
+		}
+	})
+	return nil
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Registry.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.cfg.Status.Snapshot()) //nolint:errcheck // best-effort HTTP write
+}
+
+// events streams the live event stream as Server-Sent Events: one `data:`
+// line per JSONL envelope, with the fan-out sequence number as the SSE
+// `id:`. The stream is live-only — Last-Event-ID replay is not supported;
+// a reconnecting client resumes at the live edge and can detect the gap
+// from the ids. Slow consumers are evicted server-side (bounded buffers)
+// and see their stream end.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Fanout == nil {
+		http.Error(w, "event stream not enabled", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	// Announce the replay contract up front, then stream.
+	fmt.Fprint(w, ": letgo live event stream; Last-Event-ID replay unsupported\nretry: 1000\n\n")
+	fl.Flush()
+
+	sub := s.cfg.Fanout.Subscribe(s.cfg.SubscriberBuffer)
+	defer sub.Close()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case msg, ok := <-sub.Events():
+			if !ok {
+				// Evicted as a slow consumer: tell the client before
+				// closing so it can distinguish eviction from shutdown.
+				fmt.Fprint(w, "event: evicted\ndata: slow consumer\n\n")
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", msg.ID, msg.Data)
+			fl.Flush()
+		}
+	}
+}

@@ -8,50 +8,93 @@ import (
 	"github.com/letgo-hpc/letgo/internal/atomicio"
 )
 
+// Options selects which observability sinks a tool invocation opens,
+// mirroring the shared CLI flags.
+type Options struct {
+	// MetricsOut, when non-empty, writes a metrics dump on Close
+	// (Prometheus text; JSON when the path ends in .json).
+	MetricsOut string
+	// EventsJSON, when non-empty, streams JSONL events to the file
+	// (atomically published on Close).
+	EventsJSON string
+	// Progress renders a throttled live progress line on stderr.
+	Progress bool
+	// Serve, when true, provisions the live observability plane: the
+	// registry is always created, events additionally broadcast through a
+	// Fanout for SSE subscribers, and a CampaignStatus tracker backs the
+	// /status endpoint. The HTTP server itself is started by the caller
+	// (internal/obs/serve) over these sinks.
+	Serve bool
+}
+
 // Sinks bundles the observability outputs behind the shared CLI flags
-// (-metrics-out, -events-json, -progress). With all flags off every
-// field is nil, so callers can wire a Sinks unconditionally: every obs
-// call on a nil sink is a no-op and no files are created.
+// (-metrics-out, -events-json, -progress, -serve). With all flags off
+// every field is nil, so callers can wire a Sinks unconditionally: every
+// obs call on a nil sink is a no-op and no files are created.
 //
 // Both file outputs are crash-safe: bytes stream into a temp file next
 // to the destination and are renamed into place on Close, so a process
 // killed mid-write never leaves a truncated -metrics-out or -events-json
 // behind (tail the in-progress stream via the *.tmp* file if needed).
 type Sinks struct {
-	// Hub carries the registry and/or emitter; nil when both are off.
+	// Hub carries the registry and/or emitter; nil when everything is off.
 	Hub *Hub
 	// Progress renders live progress on stderr; nil unless -progress.
 	Progress *Progress
+	// Fanout broadcasts the event stream to SSE subscribers; nil unless
+	// serving.
+	Fanout *Fanout
+	// Status tracks live campaign state for /status; nil unless serving.
+	Status *CampaignStatus
 
 	metricsPath string
 	events      *atomicio.File
 }
 
-// OpenSinks builds sinks from the shared CLI flag values. The events
-// temp file is created eagerly (so open errors surface before a long
-// run); the metrics dump is written by Close.
-func OpenSinks(metricsOut, eventsJSON string, progress bool) (*Sinks, error) {
-	s := &Sinks{metricsPath: metricsOut}
+// Open builds sinks from the selected options. The events temp file is
+// created eagerly (so open errors surface before a long run); the
+// metrics dump is written by Close.
+func Open(o Options) (*Sinks, error) {
+	s := &Sinks{metricsPath: o.MetricsOut}
 	var reg *Registry
 	var em *Emitter
-	if metricsOut != "" {
+	if o.MetricsOut != "" || o.Serve {
 		reg = NewRegistry()
 	}
-	if eventsJSON != "" {
-		f, err := atomicio.Create(eventsJSON)
+	var eventsW io.Writer
+	if o.EventsJSON != "" {
+		f, err := atomicio.Create(o.EventsJSON)
 		if err != nil {
 			return nil, err
 		}
 		s.events = f
-		em = NewEmitter(f)
+		eventsW = f
+	}
+	if o.Serve {
+		s.Fanout = NewFanout()
+		s.Status = NewCampaignStatus()
+		if eventsW != nil {
+			eventsW = io.MultiWriter(eventsW, s.Fanout)
+		} else {
+			eventsW = s.Fanout
+		}
+	}
+	if eventsW != nil {
+		em = NewEmitter(eventsW)
 	}
 	if reg != nil || em != nil {
 		s.Hub = &Hub{Reg: reg, Em: em}
 	}
-	if progress {
+	if o.Progress {
 		s.Progress = NewProgress(os.Stderr, DefaultProgressInterval)
 	}
 	return s, nil
+}
+
+// OpenSinks builds sinks from the classic CLI flag trio. It is Open
+// without the serve plane.
+func OpenSinks(metricsOut, eventsJSON string, progress bool) (*Sinks, error) {
+	return Open(Options{MetricsOut: metricsOut, EventsJSON: eventsJSON, Progress: progress})
 }
 
 // Enabled reports whether any sink is active.

@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// SpanEvent records one completed span: a named, timed section of the
+// campaign lifecycle (compile, golden, plan, execute, classify, ...).
+// Unlike every other event type, spans carry wall-clock durations and are
+// therefore not byte-reproducible across runs; consumers that diff event
+// streams should filter type "span".
+type SpanEvent struct {
+	Name    string            `json:"name"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Seconds float64           `json:"seconds"`
+}
+
+func (SpanEvent) EventType() string { return "span" }
+
+// SpanHistogram is the metric family every span duration lands in,
+// labelled by span name.
+const SpanHistogram = "letgo_span_duration_seconds"
+
+// SpanBuckets spans 10µs to ~11 minutes exponentially — wide enough for
+// both a per-injection classify (~tens of µs) and a whole golden record.
+var SpanBuckets = ExpBuckets(1e-5, 4, 13)
+
+// spanNow is the span clock, swappable in tests.
+var spanNow = time.Now
+
+// Span is a started span. End records its duration into the hub's
+// per-span-name histogram and emits a SpanEvent. A nil Span (from a nil
+// hub) ignores End, so instrumented code never branches.
+type Span struct {
+	hub   *Hub
+	name  string
+	attrs []string
+	start time.Time
+}
+
+// StartSpan opens a named span with optional alternating k/v attributes.
+// Attributes flow to the emitted SpanEvent only; the duration histogram is
+// labelled by span name alone, keeping its cardinality bounded no matter
+// how many workers or injections attach attributes. A nil hub returns a
+// nil span without reading the clock.
+func (h *Hub) StartSpan(name string, attrs ...string) *Span {
+	if h == nil {
+		return nil
+	}
+	return &Span{hub: h, name: name, attrs: attrs, start: spanNow()}
+}
+
+// End closes the span, recording its duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := spanNow().Sub(s.start).Seconds()
+	s.hub.Histogram(SpanHistogram, SpanBuckets, "span", s.name).Observe(d)
+	s.hub.Emit(SpanEvent{Name: s.name, Attrs: labelMap(sortLabels(s.attrs)), Seconds: d})
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogramAndEvent(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	calls := 0
+	spanNow = func() time.Time {
+		calls++
+		if calls == 1 {
+			return base
+		}
+		return base.Add(250 * time.Millisecond)
+	}
+	defer func() { spanNow = time.Now }()
+
+	var events bytes.Buffer
+	hub := &Hub{Reg: NewRegistry(), Em: NewEmitter(&events)}
+	sp := hub.StartSpan("compile", "app", "CLAMR")
+	sp.End()
+
+	snap := hub.Reg.Snapshot()
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == SpanHistogram {
+			found = true
+			if h.Count != 1 || h.Sum != 0.25 {
+				t.Errorf("span histogram count=%d sum=%v, want 1/0.25", h.Count, h.Sum)
+			}
+			if len(h.Labels) != 1 || h.Labels["span"] != "compile" {
+				t.Errorf("span histogram labels = %v, want span=compile only", h.Labels)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s histogram in snapshot", SpanHistogram)
+	}
+	line := events.String()
+	for _, want := range []string{`"type":"span"`, `"name":"compile"`, `"app":"CLAMR"`, `"seconds":0.25`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("span event missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var hub *Hub
+	sp := hub.StartSpan("anything", "k", "v")
+	if sp != nil {
+		t.Error("nil hub returned a span")
+	}
+	sp.End() // must not panic
+}

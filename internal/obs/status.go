@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StatusSnapshot is the JSON shape served by the observability plane's
+// /status endpoint: a point-in-time view of the running (or last
+// finished) campaign, with the same rate/ETA estimate the throttled
+// progress line renders.
+type StatusSnapshot struct {
+	App  string `json:"app,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Phase is the campaign's current lifecycle phase (compile, golden,
+	// profile, inject, simulate, ...), or "done"/"failed" after the
+	// terminal record.
+	Phase string `json:"phase,omitempty"`
+	N     int    `json:"n"`
+	// Completed counts classified injections, including journal-restored
+	// and quarantined ones.
+	Completed   int            `json:"completed"`
+	Resumed     int            `json:"resumed"`
+	Quarantined int            `json:"quarantined"`
+	Outcomes    map[string]int `json:"outcomes,omitempty"`
+	// CampaignsDone counts campaigns this invocation has finished (a
+	// multi-app table run is several campaigns in sequence).
+	CampaignsDone  int     `json:"campaigns_done"`
+	Interrupted    bool    `json:"interrupted,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	RatePerSecond  float64 `json:"rate_per_second"`
+	// ETASeconds estimates the time to finish the current campaign from
+	// the observed rate; 0 when unknown or finished.
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// CampaignStatus accumulates live campaign state for /status. All methods
+// are safe for concurrent use and nil-safe, so it threads through the
+// stack exactly like the other obs sinks. It is strictly passive.
+type CampaignStatus struct {
+	mu            sync.Mutex
+	app, mode     string
+	phase         string
+	n             int
+	completed     int
+	resumed       int
+	quarantined   int
+	outcomes      map[string]int
+	campaignsDone int
+	interrupted   bool
+	start         time.Time
+	now           func() time.Time
+}
+
+// NewCampaignStatus returns an empty tracker.
+func NewCampaignStatus() *CampaignStatus {
+	return &CampaignStatus{now: time.Now}
+}
+
+// SetClock replaces the time source (tests).
+func (s *CampaignStatus) SetClock(now func() time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Begin resets the tracker for a new campaign of n injections.
+func (s *CampaignStatus) Begin(app, mode string, n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app, s.mode, s.n = app, mode, n
+	s.phase = ""
+	s.completed, s.resumed, s.quarantined = 0, 0, 0
+	s.outcomes = make(map[string]int)
+	s.interrupted = false
+	s.start = s.now()
+}
+
+// SetPhase records the campaign entering a lifecycle phase.
+func (s *CampaignStatus) SetPhase(phase string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.phase = phase
+	s.mu.Unlock()
+}
+
+// Record tallies one classified injection.
+func (s *CampaignStatus) Record(class string, quarantined bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	s.outcomes[class]++
+	if quarantined {
+		s.quarantined++
+	}
+}
+
+// RecordRestored tallies one injection restored from the resume journal:
+// it counts toward Completed, Resumed and the per-class tallies, so a
+// resumed campaign's /status matches the table it will render.
+func (s *CampaignStatus) RecordRestored(class string, quarantined bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	s.resumed++
+	s.outcomes[class]++
+	if quarantined {
+		s.quarantined++
+	}
+}
+
+// Done marks the campaign finished (or interrupted mid-flight).
+func (s *CampaignStatus) Done(interrupted bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.campaignsDone++
+	s.interrupted = interrupted
+	if interrupted {
+		s.phase = "interrupted"
+	} else {
+		s.phase = "done"
+	}
+}
+
+// Failed marks the campaign aborted.
+func (s *CampaignStatus) Failed() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.phase = "failed"
+	s.mu.Unlock()
+}
+
+// Snapshot returns the current status. Safe on a nil tracker (zero
+// snapshot).
+func (s *CampaignStatus) Snapshot() StatusSnapshot {
+	if s == nil {
+		return StatusSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatusSnapshot{
+		App: s.app, Mode: s.mode, Phase: s.phase, N: s.n,
+		Completed: s.completed, Resumed: s.resumed, Quarantined: s.quarantined,
+		CampaignsDone: s.campaignsDone, Interrupted: s.interrupted,
+	}
+	if len(s.outcomes) > 0 {
+		snap.Outcomes = make(map[string]int, len(s.outcomes))
+		for k, v := range s.outcomes {
+			snap.Outcomes[k] = v
+		}
+	}
+	if !s.start.IsZero() {
+		snap.ElapsedSeconds = s.now().Sub(s.start).Seconds()
+	}
+	if snap.ElapsedSeconds > 0 {
+		snap.RatePerSecond = float64(s.completed) / snap.ElapsedSeconds
+	}
+	if snap.RatePerSecond > 0 && s.n > 0 && s.completed < s.n && s.phase != "done" && s.phase != "failed" {
+		snap.ETASeconds = float64(s.n-s.completed) / snap.RatePerSecond
+	}
+	return snap
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaignStatusLifecycle(t *testing.T) {
+	s := NewCampaignStatus()
+	clock := time.Unix(1700000000, 0)
+	s.SetClock(func() time.Time { return clock })
+
+	s.Begin("CLAMR", "LetGo-E", 100)
+	s.SetPhase("inject")
+	clock = clock.Add(10 * time.Second)
+	for i := 0; i < 18; i++ {
+		s.Record("Benign", false)
+	}
+	s.Record("C-Hang", true)
+	s.RecordRestored("SDC", false)
+
+	snap := s.Snapshot()
+	if snap.App != "CLAMR" || snap.Mode != "LetGo-E" || snap.Phase != "inject" || snap.N != 100 {
+		t.Errorf("identity fields wrong: %+v", snap)
+	}
+	if snap.Completed != 20 || snap.Resumed != 1 || snap.Quarantined != 1 {
+		t.Errorf("completed=%d resumed=%d quarantined=%d, want 20/1/1",
+			snap.Completed, snap.Resumed, snap.Quarantined)
+	}
+	if snap.Outcomes["Benign"] != 18 || snap.Outcomes["C-Hang"] != 1 || snap.Outcomes["SDC"] != 1 {
+		t.Errorf("outcomes = %v", snap.Outcomes)
+	}
+	if snap.ElapsedSeconds != 10 {
+		t.Errorf("elapsed = %v, want 10", snap.ElapsedSeconds)
+	}
+	if snap.RatePerSecond != 2 {
+		t.Errorf("rate = %v, want 2", snap.RatePerSecond)
+	}
+	if snap.ETASeconds != 40 { // 80 remaining at 2/s
+		t.Errorf("eta = %v, want 40", snap.ETASeconds)
+	}
+
+	s.Done(false)
+	snap = s.Snapshot()
+	if snap.Phase != "done" || snap.CampaignsDone != 1 || snap.Interrupted {
+		t.Errorf("after Done: %+v", snap)
+	}
+	if snap.ETASeconds != 0 {
+		t.Errorf("finished campaign still has ETA %v", snap.ETASeconds)
+	}
+
+	s.Begin("SNAP", "LetGo-E", 10)
+	s.Failed()
+	if snap = s.Snapshot(); snap.Phase != "failed" || snap.Completed != 0 {
+		t.Errorf("after Failed: %+v", snap)
+	}
+	s.Done(true)
+	if snap = s.Snapshot(); snap.Phase != "interrupted" || !snap.Interrupted || snap.CampaignsDone != 2 {
+		t.Errorf("after interrupted Done: %+v", snap)
+	}
+}
+
+func TestCampaignStatusNilSafe(t *testing.T) {
+	var s *CampaignStatus
+	s.SetClock(time.Now)
+	s.Begin("X", "off", 1)
+	s.SetPhase("inject")
+	s.Record("Benign", false)
+	s.RecordRestored("SDC", true)
+	s.Done(false)
+	s.Failed()
+	snap := s.Snapshot()
+	if snap.App != "" || snap.Completed != 0 || snap.Outcomes != nil {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
