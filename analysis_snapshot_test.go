@@ -1,0 +1,101 @@
+package letgo
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/analysis"
+	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/asm"
+)
+
+// updateSnapshots regenerates the committed analysis snapshot instead of
+// comparing against it: go test -run AnalysisSnapshot -update .
+var updateSnapshots = flag.Bool("update", false, "rewrite golden snapshot files")
+
+const analysisSnapshotPath = "results/analysis-snapshot.txt"
+
+// snapshotDemo is a hand-written assembly workload included in the
+// snapshot alongside the MiniC apps: its derived checkpoint set is a
+// strict subset of the address space by construction (out and in live,
+// scratch dropped).
+const snapshotDemo = `
+	.entry _start
+	.global in 8
+	.global out 8
+	.global scratch 16
+	_start:
+	    call main
+	    halt
+	main:
+	    push bp
+	    mov bp, sp
+	    li x1, in
+	    ld x2, [x1+0]
+	    addi x2, x2, 1
+	    li x3, out
+	    st x2, [x3+0]
+	    li x4, 99
+	    li x5, scratch
+	    st x4, [x5+0]
+	    ld x6, [x5+0]
+	    mov sp, bp
+	    pop bp
+	    ret
+`
+
+// analysisSnapshot renders the byte-stable snapshot: every app's derived
+// checkpoint state set, plus the hand-written demo program.
+func analysisSnapshot(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# Derived minimal checkpoint sets (memory-dependency analysis)\n")
+	b.WriteString("# Regenerate: go test -run AnalysisSnapshot -update .\n")
+
+	all := apps.All()
+	all = append(all, apps.Extensions()...)
+	for _, a := range all {
+		ss, err := analysis.CheckpointSet(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		b.WriteString("\n## " + a.Name + "\n")
+		b.WriteString(ss.Describe())
+	}
+
+	prog, err := asm.Assemble(snapshotDemo)
+	if err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	ss, err := analysis.Analyze(prog).CheckpointSet([]string{"out"})
+	if err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	b.WriteString("\n## asm-demo\n")
+	b.WriteString(ss.Describe())
+	return b.String()
+}
+
+// TestAnalysisSnapshotGolden pins the analysis results byte-for-byte: any
+// drift in the region partition, live sets, derived sizes or repair-safe
+// site counts fails until the golden is regenerated with -update and the
+// change is reviewed.
+func TestAnalysisSnapshotGolden(t *testing.T) {
+	got := analysisSnapshot(t)
+	if *updateSnapshots {
+		if err := os.WriteFile(analysisSnapshotPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(analysisSnapshotPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run AnalysisSnapshot -update .)", err)
+	}
+	if got != string(want) {
+		t.Errorf("analysis snapshot drifted from %s.\nRegenerate with: go test -run AnalysisSnapshot -update .\n--- got ---\n%s--- want ---\n%s",
+			analysisSnapshotPath, got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package letgo
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetExitCodeContract pins letgo-vet's exit-code contract across
+// output formats: 0 for clean targets and 1 on findings, in -format text
+// AND -format json (machine consumers branch on the code, not the text).
+func TestVetExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	// Build the real binary: `go run` flattens every non-zero exit to 1,
+	// which would hide the 1-vs-2 distinction under test.
+	bin := filepath.Join(dir, "letgo-vet")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/letgo-vet").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	clean := filepath.Join(dir, "clean.s")
+	// Minimal clean program: everything reachable, stack balanced.
+	if err := os.WriteFile(clean, []byte(`
+	.entry _start
+	_start:
+	    li x1, 1
+	    mov x2, x1
+	    halt
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(dir, "dirty.s")
+	// One guaranteed finding: the store to main's frame is never read
+	// back (dead-region-write).
+	if err := os.WriteFile(dirty, []byte(`
+	.entry _start
+	_start:
+	    call main
+	    halt
+	main:
+	    addi sp, sp, -16
+	    li x1, 7
+	    st x1, [sp+0]
+	    addi sp, sp, 16
+	    ret
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func(args ...string) (string, int) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("letgo-vet %v: %v\n%s", args, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	for _, format := range []string{"text", "json"} {
+		if out, code := vet("-format", format, clean); code != 0 {
+			t.Errorf("clean target, -format %s: exit %d\n%s", format, code, out)
+		}
+		out, code := vet("-format", format, dirty)
+		if code != 1 {
+			t.Errorf("dirty target, -format %s: exit %d, want 1\n%s", format, code, out)
+		}
+		if !strings.Contains(out, "dead-region-write") {
+			t.Errorf("dirty target, -format %s: finding missing\n%s", format, out)
+		}
+	}
+
+	// The json rendering must stay parseable alongside the non-zero exit.
+	out, code := vet("-format", "json", dirty)
+	if code != 1 {
+		t.Fatalf("json exit = %d, want 1", code)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var findings []map[string]string
+	if err := dec.Decode(&findings); err != nil {
+		t.Fatalf("json findings did not parse: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("json exit 1 with zero findings:\n%s", out)
+	}
+
+	// Usage errors are distinguishable from findings: exit 2.
+	if out, code := vet(); code != 2 {
+		t.Errorf("no targets: exit %d, want 2\n%s", code, out)
+	}
+}

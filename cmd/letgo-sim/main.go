@@ -24,6 +24,7 @@ import (
 	"time"
 
 	letgo "github.com/letgo-hpc/letgo"
+	"github.com/letgo-hpc/letgo/internal/analysis"
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/checkpoint"
 	"github.com/letgo-hpc/letgo/internal/inject"
@@ -51,6 +52,7 @@ func main() {
 	sync := flag.Float64("sync", 0.10, "synchronization overhead as a fraction of tchk")
 	mtbFaults := flag.Float64("mtbfaults", 21600, "mean time between faults, seconds")
 	seedSource := flag.String("seed-source", "paper", "probability source: paper (Table 3) or measured (run a campaign)")
+	ckptModel := flag.String("ckpt-model", "paper", "checkpoint cost model: paper (T_chk as given) or derived (scale T_chk by the app's analysis-derived minimal checkpoint set)")
 	n := flag.Int("n", 1000, "injections for -seed-source measured")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	horizon := flag.Float64("horizon", checkpoint.DefaultHorizon, "simulated seconds")
@@ -109,6 +111,32 @@ func main() {
 		}
 		fatal(err)
 	}
+	// Resolve the checkpoint cost model: "paper" charges T_chk as given;
+	// "derived" runs the memory-dependency analysis on the app and scales
+	// T_chk to the minimal checkpoint set it derives.
+	costOf := func(t float64) float64 { return t }
+	var state *analysis.StateSet
+	switch *ckptModel {
+	case "paper":
+	case "derived":
+		a, ok := apps.ByName(*appName)
+		if !ok {
+			fatal(fmt.Errorf("-ckpt-model derived: unknown app %q", *appName))
+		}
+		sp := telem.Hub.StartSpan("analysis", "app", a.Name)
+		state, err = analysis.CheckpointSet(a)
+		sp.End()
+		if err != nil {
+			fatal(fmt.Errorf("-ckpt-model derived: %w", err))
+		}
+		costOf = func(t float64) float64 {
+			return checkpoint.DerivedCheckpointCost(t, state.DerivedBytes, state.FullBytes)
+		}
+		telem.Status.SetCkptModel("derived")
+		telem.Status.SetAnalysis(state.RegionCount(), state.Live.Count(), state.DerivedBytes, state.FullBytes)
+	default:
+		fatal(fmt.Errorf("unknown -ckpt-model %q (want paper or derived)", *ckptModel))
+	}
 	var tracer checkpoint.Tracer
 	if telem.Enabled() {
 		tracer = checkpoint.NewObsTracer(telem.Hub, telem.Progress)
@@ -118,13 +146,20 @@ func main() {
 	if format == report.Text {
 		fmt.Printf("# %s: P_crash=%.3f P_v=%.3f P_v'=%.3f P_letgo=%.3f (%s)\n",
 			probs.Name, probs.PCrash, probs.PV, probs.PVPrime, probs.PLetGo, *seedSource)
+		if state != nil {
+			fmt.Printf("# derived checkpoint: %d of %d bytes (%.4f%%), %d of %d regions live, T_chk scale %.4f\n",
+				state.DerivedBytes, state.FullBytes,
+				100*float64(state.DerivedBytes)/float64(state.FullBytes),
+				state.Live.Count(), state.RegionCount(),
+				costOf(1))
+		}
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 
 	if *advise {
-		params := checkpoint.ParamsFor(probs, *tchk, *sync, *mtbFaults)
+		params := checkpoint.ParamsFor(probs, costOf(*tchk), *sync, *mtbFaults)
 		a, err := checkpoint.Advise(params, checkpoint.AdviseConfig{ContinuedSDC: probs.ContinuedSDC, Seed: *seed, Horizon: *horizon})
 		if err != nil {
 			fatal(err)
@@ -142,12 +177,14 @@ func main() {
 
 	switch *fig {
 	case 7:
-		pts, err := checkpoint.SweepCheckpointCostTraced(probs, []float64{12, 120, 1200}, *sync, *mtbFaults, *seed, *horizon, tracer)
+		pts, err := checkpoint.SweepCheckpointCostModelTraced(probs, []float64{12, 120, 1200}, costOf, *sync, *mtbFaults, *seed, *horizon, tracer)
 		if err != nil {
 			fatal(err)
 		}
 		if format != report.Text {
-			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "tchk", pts)); err != nil {
+			rows := report.SimRows(probs.Name, "tchk", pts)
+			annotate(rows, *ckptModel, state)
+			if err := report.Sims(os.Stdout, format, rows); err != nil {
 				fatal(err)
 			}
 			finish()
@@ -158,12 +195,14 @@ func main() {
 			fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%+.4f\n", p.X, p.Standard, p.LetGo, p.Gain())
 		}
 	case 8:
-		pts, err := checkpoint.SweepScaleTraced(probs, *tchk, *sync, []int{100_000, 200_000, 400_000}, *seed, *horizon, tracer)
+		pts, err := checkpoint.SweepScaleTraced(probs, costOf(*tchk), *sync, []int{100_000, 200_000, 400_000}, *seed, *horizon, tracer)
 		if err != nil {
 			fatal(err)
 		}
 		if format != report.Text {
-			if err := report.Sims(os.Stdout, format, report.SimRows(probs.Name, "nodes", pts)); err != nil {
+			rows := report.SimRows(probs.Name, "nodes", pts)
+			annotate(rows, *ckptModel, state)
+			if err := report.Sims(os.Stdout, format, rows); err != nil {
 				fatal(err)
 			}
 			finish()
@@ -174,7 +213,7 @@ func main() {
 			fmt.Fprintf(w, "%.0f\t%.4f\t%.4f\t%+.4f\n", p.X, p.Standard, p.LetGo, p.Gain())
 		}
 	case 0:
-		params := checkpoint.ParamsFor(probs, *tchk, *sync, *mtbFaults)
+		params := checkpoint.ParamsFor(probs, costOf(*tchk), *sync, *mtbFaults)
 		std, lg, err := checkpoint.CompareTraced(params, stats.NewRNG(*seed), *horizon, tracer)
 		if err != nil {
 			fatal(err)
@@ -188,6 +227,15 @@ func main() {
 		fatal(fmt.Errorf("unknown figure %d (want 7 or 8)", *fig))
 	}
 	finish()
+}
+
+// annotate stamps derived-model provenance onto sweep rows (JSON only;
+// a no-op for the paper model, keeping existing consumers byte-stable).
+func annotate(rows []report.SimRow, model string, state *analysis.StateSet) {
+	if state == nil {
+		return
+	}
+	report.AnnotateCkptModel(rows, model, state.DerivedBytes, state.FullBytes)
 }
 
 // finish flushes the progress line and writes the metric/event sinks.

@@ -1,8 +1,10 @@
-// letgo-vet lints assembled or compiled programs using the static analyses
-// in internal/analysis: unreachable blocks, execution falling off a
-// function's end, misaligned memory offsets, reads of never-written
+// letgo-vet lints assembled or compiled programs using the analyzer
+// framework in internal/analysis: unreachable blocks, execution falling
+// off a function's end, misaligned memory offsets, reads of never-written
 // registers, unbalanced push/pop along any path, calls into non-function
-// addresses, and branches out of the code segment.
+// addresses, branches out of the code segment, writes to regions that are
+// never read back, and acceptance outputs that are never initialized
+// (-apps targets declare their acceptance globals).
 //
 // Usage:
 //
@@ -10,8 +12,14 @@
 //	letgo-vet -apps all                     # lint the built-in benchmarks
 //	letgo-vet -embedded examples            # lint MiniC embedded in Go files
 //	letgo-vet -cfg prog.s                   # dump the CFG instead
+//	letgo-vet -state -apps all              # print derived checkpoint sets
+//	letgo-vet -passes                       # list the registered analyzers
 //
-// Exit status is 1 when any finding is reported, like go vet.
+// Exit-code contract, identical across every -format:
+//
+//	0  all targets clean
+//	1  at least one finding reported, or an operational error
+//	2  usage error (nothing to lint, unknown flag)
 package main
 
 import (
@@ -33,10 +41,13 @@ import (
 	"github.com/letgo-hpc/letgo/internal/lang"
 )
 
-// target is one named program to lint.
+// target is one named program to lint. outputs carries the target's
+// acceptance-checked globals when known (-apps), enabling the
+// dependency-backed checks (uninit-output) and -state.
 type target struct {
-	name string
-	prog *isa.Program
+	name    string
+	prog    *isa.Program
+	outputs []string
 }
 
 // finding is the JSON view of one diagnostic.
@@ -53,7 +64,16 @@ func main() {
 	embedded := flag.String("embedded", "", "lint MiniC programs embedded as string constants in Go files under this directory")
 	format := flag.String("format", "text", "output format: text or json")
 	dumpCFG := flag.Bool("cfg", false, "dump the control-flow graph instead of linting")
+	dumpState := flag.Bool("state", false, "print the derived checkpoint state set of each target that declares acceptance globals, instead of linting")
+	listPasses := flag.Bool("passes", false, "list the registered analysis passes and exit")
 	flag.Parse()
+
+	if *listPasses {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
 
 	if *format != "text" && *format != "json" {
 		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
@@ -94,7 +114,26 @@ func main() {
 			fmt.Printf("# %s\n%s", tg.name, an)
 			continue
 		}
-		for _, f := range an.Vet() {
+		if *dumpState {
+			if len(tg.outputs) == 0 {
+				continue
+			}
+			ss, err := an.CheckpointSet(tg.outputs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# %s\n%s", tg.name, ss.Describe())
+			continue
+		}
+		fs := an.Vet()
+		if len(tg.outputs) > 0 {
+			ofs, err := an.VetOutputs(tg.outputs)
+			if err != nil {
+				fatal(err)
+			}
+			fs = append(fs, ofs...)
+		}
+		for _, f := range fs {
 			all = append(all, finding{
 				Program: tg.name,
 				Addr:    fmt.Sprintf("0x%x", f.Addr),
@@ -104,7 +143,7 @@ func main() {
 			})
 		}
 	}
-	if *dumpCFG {
+	if *dumpCFG || *dumpState {
 		return
 	}
 
@@ -130,6 +169,8 @@ func main() {
 			fmt.Printf("letgo-vet: %d program(s) clean\n", len(targets))
 		}
 	}
+	// The exit code depends only on the findings, never on the format:
+	// -format json exits 1 on findings exactly like the text renderer.
 	if len(all) > 0 {
 		os.Exit(1)
 	}
@@ -155,7 +196,7 @@ func appTargets(sel string) ([]target, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, target{name: a.Name, prog: p})
+		out = append(out, target{name: a.Name, prog: p, outputs: a.AcceptanceGlobals()})
 	}
 	return out, nil
 }

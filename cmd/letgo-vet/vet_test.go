@@ -17,8 +17,49 @@ func TestAppsLintClean(t *testing.T) {
 		t.Fatalf("expected the six Table-2 apps, got %d", len(targets))
 	}
 	for _, tg := range targets {
-		for _, f := range analysis.Analyze(tg.prog).Vet() {
+		an := analysis.Analyze(tg.prog)
+		for _, f := range an.Vet() {
 			t.Errorf("%s: %s", tg.name, f)
+		}
+		// The dependency-backed checks (dead-region-write fires inside
+		// Vet; uninit-output needs the acceptance globals) must also stay
+		// silent on every app.
+		if len(tg.outputs) == 0 {
+			t.Errorf("%s: no acceptance globals declared", tg.name)
+			continue
+		}
+		fs, err := an.VetOutputs(tg.outputs)
+		if err != nil {
+			t.Errorf("%s: VetOutputs: %v", tg.name, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s", tg.name, f)
+		}
+	}
+}
+
+// TestAppsCheckpointSetsNonTrivial is the tentpole acceptance gate: every
+// built-in app's derived minimal checkpoint set must be a non-empty strict
+// subset of the whole data address space, with at least one certified
+// repair-safe destination site.
+func TestAppsCheckpointSetsNonTrivial(t *testing.T) {
+	targets, err := appTargets("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range targets {
+		ss, err := analysis.Analyze(tg.prog).CheckpointSet(tg.outputs)
+		if err != nil {
+			t.Errorf("%s: %v", tg.name, err)
+			continue
+		}
+		if ss.DerivedBytes == 0 || ss.DerivedBytes >= ss.FullBytes {
+			t.Errorf("%s: derived %d of %d bytes, want a non-empty strict subset",
+				tg.name, ss.DerivedBytes, ss.FullBytes)
+		}
+		if ss.SafeSites == 0 || ss.SafeSites >= ss.DestSites {
+			t.Errorf("%s: %d of %d sites repair-safe, want a non-empty strict subset",
+				tg.name, ss.SafeSites, ss.DestSites)
 		}
 	}
 }

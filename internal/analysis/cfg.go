@@ -73,13 +73,18 @@ type Func struct {
 // symbol-table function.
 func (f *Func) Anonymous() bool { return f.Sym.Name == "" }
 
-// Analysis carries every derived static fact about one program. Build it
-// with Analyze; all fields are computed eagerly and never mutated after,
-// so an Analysis is safe for concurrent readers.
+// Analysis is the shared fact store of the pass framework: every pass
+// writes its facts here exactly once, and facts are never mutated after
+// their pass completes, so an Analysis is safe for concurrent readers.
+// Build it with Analyze, which runs the base passes (cfg, stackdepth,
+// liveness) eagerly; heavier passes (regions, deps) run on first demand
+// through Require.
 type Analysis struct {
 	Prog   *isa.Program
 	Blocks []*Block
 	Funcs  []*Func
+
+	passState
 
 	// blockOf maps instruction index -> block index.
 	blockOf []int
@@ -94,6 +99,10 @@ type Analysis struct {
 	// liveIn[i] / liveOut[i] are the registers live on entry to / exit
 	// from instruction i.
 	liveIn, liveOut []RegSet
+
+	// regions is the PassRegions fact; deps the PassDeps fact.
+	regions *Regions
+	deps    *Deps
 }
 
 // index converts a code address to an instruction index.
@@ -137,16 +146,14 @@ func (a *Analysis) Reachable(addr uint64) bool {
 	return a.reach[a.blockOf[i]]
 }
 
-// Analyze builds the CFG and runs the stack-depth and liveness dataflows.
-// It never fails: malformed flow (branches out of the code segment,
-// fall-off ends) is recorded as block attributes and surfaced by Vet.
+// Analyze builds the CFG and runs the stack-depth and liveness dataflows
+// (the framework's base passes). It never fails: malformed flow (branches
+// out of the code segment, fall-off ends) is recorded as block attributes
+// and surfaced by Vet.
 func Analyze(prog *isa.Program) *Analysis {
 	a := &Analysis{Prog: prog}
-	a.buildFuncs()
-	a.buildBlocks()
-	a.markReachable()
-	a.computeDepths()
-	a.computeLiveness()
+	a.Require(PassStackDepth)
+	a.Require(PassLiveness)
 	return a
 }
 

@@ -18,6 +18,14 @@ const (
 	CheckUnbalanced  Check = "unbalanced"      // push/pop mismatch along some path
 	CheckBadCall     Check = "bad-call-target" // CALL into a non-function address
 	CheckBadBranch   Check = "bad-branch"      // branch leaves the code segment
+
+	// CheckDeadRegionWrite flags stores into a region no instruction ever
+	// reads — dead stores at region granularity. Named globals are exempt
+	// (they are externally observable program results).
+	CheckDeadRegionWrite Check = "dead-region-write"
+	// CheckUninitOutput flags an acceptance output whose value depends on
+	// a region that is never written and carries no initializer.
+	CheckUninitOutput Check = "uninit-output"
 )
 
 // Finding is one letgo-vet diagnostic.
@@ -51,7 +59,129 @@ func (a *Analysis) Vet() []Finding {
 	out = append(out, a.vetCalls()...)
 	out = append(out, a.vetStackBalance()...)
 	out = append(out, a.vetUninitReads()...)
+	out = append(out, a.vetDeadRegionWrites()...)
 	return out
+}
+
+// VetOutputs lints the program against its acceptance outputs: the
+// checks that need to know which globals the acceptance check reads
+// (currently CheckUninitOutput). A nil or empty output list lints
+// nothing.
+func (a *Analysis) VetOutputs(outputs []string) ([]Finding, error) {
+	if len(outputs) == 0 {
+		return nil, nil
+	}
+	ss, err := a.CheckpointSet(outputs)
+	if err != nil {
+		return nil, err
+	}
+	return a.vetUninitOutputs(ss), nil
+}
+
+// regionAccess tallies which regions reachable code explicitly reads and
+// writes. CALL's return-address push and RET's pop are exempted as a
+// matched pair: the slot CALL writes is the slot the callee's RET reads,
+// but the two land in different abstract frame regions.
+func (a *Analysis) regionAccess() (read RegionSet, written RegionSet, firstWrite map[int]int) {
+	r := a.Regions()
+	read, written = r.NewSet(), r.NewSet()
+	firstWrite = make(map[int]int)
+	for i := range a.Prog.Instrs {
+		if !a.reach[a.blockOf[i]] {
+			continue
+		}
+		if op := a.Prog.Instrs[i].Op; op == isa.CALL || op == isa.RET {
+			continue
+		}
+		if r.Reads[i] != nil {
+			read.UnionWith(r.Reads[i])
+		}
+		if r.Writes[i] != nil {
+			for _, ri := range r.Writes[i].Members() {
+				if _, seen := firstWrite[ri]; !seen {
+					firstWrite[ri] = i
+				}
+			}
+			written.UnionWith(r.Writes[i])
+		}
+	}
+	return read, written, firstWrite
+}
+
+// vetDeadRegionWrites flags frame and anonymous-global regions that are
+// written but never read: every store into them is dead. Named globals
+// are exempt (an only-written global is an externally observable
+// result), as are the heap and stack catch-alls (too coarse to judge).
+func (a *Analysis) vetDeadRegionWrites() []Finding {
+	r := a.Regions()
+	read, _, firstWrite := a.regionAccess()
+	var out []Finding
+	for _, reg := range r.All {
+		if reg.Kind != RegionFrame && reg.Kind != RegionAnonGlobal {
+			continue
+		}
+		wi, written := firstWrite[reg.Index]
+		if !written || read.Has(reg.Index) {
+			continue
+		}
+		f := a.Funcs[a.funcOf[wi]]
+		out = append(out, Finding{
+			Addr: a.addr(wi), Func: funcName(f), Check: CheckDeadRegionWrite,
+			Msg: fmt.Sprintf("%s writes region %s, which no instruction reads", a.Prog.Instrs[wi].Op, reg.Name),
+		})
+	}
+	return out
+}
+
+// vetUninitOutputs flags live regions of the derived checkpoint set that
+// no reachable instruction writes and no data span initializes: the
+// acceptance check would compare garbage (well, zeros — but zeros by
+// accident, not by computation).
+func (a *Analysis) vetUninitOutputs(ss *StateSet) []Finding {
+	r := a.Regions()
+	_, written, _ := a.regionAccess()
+	var out []Finding
+	for _, ri := range ss.Live.Members() {
+		reg := r.All[ri]
+		if reg.Kind != RegionGlobal && reg.Kind != RegionAnonGlobal {
+			continue
+		}
+		if written.Has(ri) || a.hasInitializer(reg) {
+			continue
+		}
+		i, f := a.firstReadOf(ri)
+		name := ""
+		if f != nil {
+			name = funcName(f)
+		}
+		out = append(out, Finding{
+			Addr: a.addr(i), Func: name, Check: CheckUninitOutput,
+			Msg: fmt.Sprintf("acceptance output depends on region %s, which is never written or initialized", reg.Name),
+		})
+	}
+	return out
+}
+
+// hasInitializer reports whether a data span covers any byte of reg.
+func (a *Analysis) hasInitializer(reg *Region) bool {
+	for _, d := range a.Prog.Data {
+		if d.Addr < reg.Addr+reg.Size && d.Addr+uint64(len(d.Bytes)) > reg.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+// firstReadOf finds the first reachable instruction reading region ri,
+// to anchor a diagnostic.
+func (a *Analysis) firstReadOf(ri int) (int, *Func) {
+	r := a.regions
+	for i := range a.Prog.Instrs {
+		if a.reach[a.blockOf[i]] && r.Reads[i].Has(ri) {
+			return i, a.Funcs[a.funcOf[i]]
+		}
+	}
+	return 0, nil
 }
 
 // vetReachability flags unreachable blocks, blocks that can fall off their

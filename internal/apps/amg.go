@@ -205,6 +205,10 @@ var AMG = &App{
 	Source:    amgSource,
 	Iterative: true,
 	Tolerance: 1e-6,
+	CheckGlobals: []string{
+		"converged", "residual", // Accept
+		"u0", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		conv, err := readInt(m, "converged")
 		if err != nil {

@@ -52,6 +52,10 @@ type App struct {
 	// Tolerance is the relative tolerance for golden comparison; 0 means
 	// bit-wise.
 	Tolerance float64
+	// CheckGlobals names the global symbols Accept and Output read: the
+	// roots of the derived minimal checkpoint set (analysis.CheckpointSet)
+	// and of letgo-vet's acceptance-output checks.
+	CheckGlobals []string
 
 	compileOnce sync.Once
 	prog        *isa.Program
@@ -72,6 +76,10 @@ func (a *App) Compile() (*isa.Program, error) {
 	})
 	return a.prog, a.compileErr
 }
+
+// AcceptanceGlobals returns the global symbols the acceptance check
+// reads (analysis.Workload).
+func (a *App) AcceptanceGlobals() []string { return a.CheckGlobals }
 
 // NewMachine compiles the app (cached) and loads a fresh machine.
 func (a *App) NewMachine() (*vm.Machine, error) {

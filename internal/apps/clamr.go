@@ -147,6 +147,10 @@ var clamrApp = &App{
 	Source:    clamrSource,
 	Iterative: true,
 	Tolerance: 1e-6,
+	CheckGlobals: []string{
+		"iters", "max_mass_change", "initial_mass", "final_mass", // Accept
+		"h", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		iters, err := readInt(m, "iters")
 		if err != nil {

@@ -129,6 +129,10 @@ var comdApp = &App{
 	Source:    comdSource,
 	Iterative: true,
 	Tolerance: 5e-7,
+	CheckGlobals: []string{
+		"steps_done", "e0", "efinal", // Accept
+		"px", "py", "vx", "vy", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		steps, err := readInt(m, "steps_done")
 		if err != nil {

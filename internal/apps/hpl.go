@@ -135,6 +135,10 @@ var hplApp = &App{
 	Source:    hplSource,
 	Iterative: false,
 	Tolerance: 0, // direct method: bit-wise golden comparison
+	CheckGlobals: []string{
+		"done", "resid", // Accept
+		"x", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		done, err := readInt(m, "done")
 		if err != nil {

@@ -143,6 +143,10 @@ var luleshApp = &App{
 	Source:    luleshSource,
 	Iterative: true,
 	Tolerance: 5e-9,
+	CheckGlobals: []string{
+		"iters", "origin_energy", "symmetry", // Accept
+		"e", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		iters, err := readInt(m, "iters")
 		if err != nil {

@@ -145,6 +145,10 @@ var pennantApp = &App{
 	Source:    pennantSource,
 	Iterative: true,
 	Tolerance: 5e-10,
+	CheckGlobals: []string{
+		"steps_done", "e0", "efinal", // Accept
+		"x", "zr", "ze", "un", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		steps, err := readInt(m, "steps_done")
 		if err != nil {

@@ -103,6 +103,10 @@ var snapApp = &App{
 	Source:    snapSource,
 	Iterative: true,
 	Tolerance: 5e-7,
+	CheckGlobals: []string{
+		"iters", "asymmetry", // Accept
+		"phi", // Output
+	},
 	Accept: func(m *vm.Machine) (bool, error) {
 		iters, err := readInt(m, "iters")
 		if err != nil {

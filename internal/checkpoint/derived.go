@@ -1,0 +1,23 @@
+package checkpoint
+
+// MinDerivedCostFrac floors the derived checkpoint cost at this fraction
+// of the whole-state cost: coordination, metadata and I/O setup do not
+// shrink with the payload, so even a tiny state set pays a latency floor.
+const MinDerivedCostFrac = 0.01
+
+// DerivedCheckpointCost scales a whole-state checkpoint cost T_chk to a
+// derived minimal checkpoint set. Checkpoint cost is dominated by bytes
+// written, so the cost scales linearly with the checkpointed fraction of
+// the address space, floored at MinDerivedCostFrac of the full cost.
+// Degenerate inputs (zero full size, derived not smaller) return T_chk
+// unchanged.
+func DerivedCheckpointCost(tchk float64, derivedBytes, fullBytes uint64) float64 {
+	if fullBytes == 0 || derivedBytes >= fullBytes {
+		return tchk
+	}
+	scaled := tchk * float64(derivedBytes) / float64(fullBytes)
+	if floor := MinDerivedCostFrac * tchk; scaled < floor {
+		return floor
+	}
+	return scaled
+}

@@ -56,6 +56,16 @@ func SweepCheckpointCostTraced(app AppProbabilities, tchks []float64, syncFrac, 
 	}, seed, horizon, tr)
 }
 
+// SweepCheckpointCostModelTraced is SweepCheckpointCostTraced with a cost
+// transform: each nominal T_chk passes through cost before entering the
+// model (e.g. DerivedCheckpointCost for a derived minimal checkpoint
+// set), while the sweep's x-axis keeps the nominal value.
+func SweepCheckpointCostModelTraced(app AppProbabilities, tchks []float64, cost func(float64) float64, syncFrac, mtbFaults float64, seed uint64, horizon float64, tr Tracer) ([]Point, error) {
+	return sweep(tchks, func(tchk float64) (Params, error) {
+		return ParamsFor(app, cost(tchk), syncFrac, mtbFaults), nil
+	}, seed, horizon, tr)
+}
+
 // SweepCheckpointCost is SweepCheckpointCostTraced without a tracer.
 func SweepCheckpointCost(app AppProbabilities, tchks []float64, syncFrac, mtbFaults float64, seed uint64, horizon float64) ([]Point, error) {
 	return SweepCheckpointCostTraced(app, tchks, syncFrac, mtbFaults, seed, horizon, nil)

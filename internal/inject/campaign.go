@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/letgo-hpc/letgo/internal/analysis"
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
 	"github.com/letgo-hpc/letgo/internal/debug"
@@ -79,7 +80,12 @@ type Execution struct {
 	// DestLive says whether the fault's destination register was
 	// statically live at the injection site.
 	DestLive bool
-	Retired  uint64 // instructions the injected run retired
+	// RepairSafe says whether the injection site sits in a repair-safe
+	// region: corruption of its destination register provably cannot
+	// reach the app's acceptance check (always false when the app
+	// declares no acceptance globals).
+	RepairSafe bool
+	Retired    uint64 // instructions the injected run retired
 	// Latency is the injection-to-crash distance (valid when HasLatency).
 	Latency    uint64
 	HasLatency bool
@@ -158,6 +164,11 @@ type Campaign struct {
 	// body just before plan i executes. It exists so tests can inject
 	// harness faults (panics, stalls) at precise points.
 	beforeInjection func(i int)
+
+	// stateSet is the app's derived checkpoint/repair-safety analysis,
+	// computed once during the compile phase when the app declares
+	// acceptance globals.
+	stateSet *analysis.StateSet
 }
 
 // EngineStats describes the execution-substrate work of one campaign.
@@ -204,6 +215,17 @@ type Result struct {
 	// the liveness analysis with Masked/SDC rates (Section 6's
 	// "zero-filling is usually benign" argument, quantified).
 	LiveDest, DeadDest outcome.Counts
+	// SafeSite and UnsafeSite split Counts by whether the injection hit a
+	// repair-safe site (the memory-dependency analysis certifies its
+	// corruption cannot reach the acceptance check). Both are zero when
+	// the app declares no acceptance globals.
+	SafeSite, UnsafeSite outcome.Counts
+	// DerivedBytes and FullBytes are the app's derived minimal checkpoint
+	// size and its whole data address space; AnalysisRegions and
+	// AnalysisLiveRegions count the region partition behind them. All
+	// zero when the app declares no acceptance globals.
+	DerivedBytes, FullBytes              uint64
+	AnalysisRegions, AnalysisLiveRegions int
 	// EngineStats reports the substrate's work (forks, pages copied,
 	// instructions saved). Diagnostic only — excluded from report tables.
 	EngineStats EngineStats
@@ -229,6 +251,15 @@ func MaskedFrac(c *outcome.Counts) float64 {
 		return 0
 	}
 	return float64(c.By[outcome.Benign]+c.By[outcome.CBenign]) / float64(c.N)
+}
+
+// SDCFrac returns the fraction of runs in c that ended in silent data
+// corruption, with or without LetGo's involvement (SDC + C-SDC).
+func SDCFrac(c *outcome.Counts) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.By[outcome.SDC]+c.By[outcome.CSDC]) / float64(c.N)
 }
 
 // MedianCrashLatency returns the median injection-to-crash distance in
@@ -302,6 +333,20 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 	spCompile.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	// Memory-dependency analysis: derive the app's minimal checkpoint set
+	// and repair-safety facts once, ahead of the workers. Apps without
+	// declared acceptance globals (ad-hoc programs) skip it.
+	if outputs := c.App.AcceptanceGlobals(); len(outputs) > 0 {
+		spAnalysis := c.Obs.StartSpan("analysis", "app", c.App.Name)
+		ss, aerr := an.CheckpointSet(outputs)
+		spAnalysis.End()
+		if aerr != nil {
+			return nil, fmt.Errorf("inject: analysis of %s: %w", c.App.Name, aerr)
+		}
+		c.stateSet = ss
+		c.reportAnalysis(an, ss)
 	}
 
 	// Golden run: acceptance data and output to compare against. The fork
@@ -433,6 +478,12 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 		Resumed:       resumed,
 		Interrupted:   completedCount < c.N,
 	}
+	if c.stateSet != nil {
+		res.DerivedBytes = c.stateSet.DerivedBytes
+		res.FullBytes = c.stateSet.FullBytes
+		res.AnalysisRegions = c.stateSet.RegionCount()
+		res.AnalysisLiveRegions = c.stateSet.Live.Count()
+	}
 	for i, r := range results {
 		if !completed[i] {
 			continue
@@ -442,6 +493,13 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 			res.LiveDest.Add(r.class)
 		} else {
 			res.DeadDest.Add(r.class)
+		}
+		if c.stateSet != nil {
+			if r.repairSafe {
+				res.SafeSite.Add(r.class)
+			} else {
+				res.UnsafeSite.Add(r.class)
+			}
 		}
 		if r.class.CrashBranch() && r.sig != vm.SIGNONE {
 			res.Signals[r.sig]++
@@ -462,6 +520,35 @@ func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
 		c.Observer.Done(res)
 	}
 	return res, nil
+}
+
+// reportAnalysis mirrors the memory-dependency analysis results into the
+// observability plane: letgo_analysis_* gauges for region counts and
+// derived bytes, per-pass durations into the span taxonomy, and an
+// optional observer extension for /status.
+func (c *Campaign) reportAnalysis(an *pin.Analysis, ss *analysis.StateSet) {
+	if c.Obs != nil {
+		app := c.App.Name
+		c.Obs.Gauge("letgo_analysis_regions", "app", app).Set(float64(ss.RegionCount()))
+		c.Obs.Gauge("letgo_analysis_live_regions", "app", app).Set(float64(ss.Live.Count()))
+		c.Obs.Gauge("letgo_analysis_derived_checkpoint_bytes", "app", app).Set(float64(ss.DerivedBytes))
+		c.Obs.Gauge("letgo_analysis_full_state_bytes", "app", app).Set(float64(ss.FullBytes))
+		c.Obs.Gauge("letgo_analysis_repair_safe_sites", "app", app).Set(float64(ss.SafeSites))
+		c.Obs.Gauge("letgo_analysis_dest_sites", "app", app).Set(float64(ss.DestSites))
+		// Pass durations land in the same histogram family as lifecycle
+		// spans, named analysis/<pass>, so they render under -serve with
+		// the rest of the span taxonomy.
+		for _, st := range an.Static().PassStats() {
+			name := "analysis/" + st.Name
+			c.Obs.Histogram(obs.SpanHistogram, obs.SpanBuckets, "span", name).Observe(st.Seconds)
+			c.Obs.Emit(obs.SpanEvent{Name: name, Attrs: map[string]string{"app": app}, Seconds: st.Seconds})
+		}
+	}
+	if o, ok := c.Observer.(interface {
+		Analyzed(regions, liveRegions int, derivedBytes, fullBytes uint64)
+	}); ok {
+		o.Analyzed(ss.RegionCount(), ss.Live.Count(), ss.DerivedBytes, ss.FullBytes)
+	}
 }
 
 // registerMetrics pre-registers the campaign's metric families so a dump
@@ -497,6 +584,12 @@ func (c *Campaign) registerMetrics() {
 	}
 	reg.Help("letgo_campaign_duration_seconds", "Wall-clock duration of the whole campaign, by app.")
 	reg.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name)
+	reg.Help("letgo_analysis_regions", "Memory regions in the dependency analysis partition, by app.")
+	reg.Help("letgo_analysis_live_regions", "Regions in the derived minimal checkpoint set, by app.")
+	reg.Help("letgo_analysis_derived_checkpoint_bytes", "Derived minimal checkpoint size in bytes, by app.")
+	reg.Help("letgo_analysis_full_state_bytes", "Whole data address space in bytes, by app.")
+	reg.Help("letgo_analysis_repair_safe_sites", "Destination-writing instructions certified repair-safe, by app.")
+	reg.Help("letgo_analysis_dest_sites", "Reachable destination-writing instructions, by app.")
 	reg.Help("letgo_outcomes_total", "Classified injections by Figure-4 class, across all apps of the invocation.")
 	for _, cl := range []outcome.Class{
 		outcome.Benign, outcome.SDC, outcome.Detected, outcome.Crash,
@@ -801,7 +894,8 @@ func (c *Campaign) record(i int, r injResult, quar, stack string) resilience.Rec
 	}
 	return resilience.Record{
 		Key: c.journalKey(), Index: i, Class: r.class.String(), Signal: sig,
-		DestLive: r.destLive, Latency: r.latency, HasLatency: r.hasLatency,
+		DestLive: r.destLive, RepairSafe: r.repairSafe,
+		Latency: r.latency, HasLatency: r.hasLatency,
 		Retired: r.retired, Quarantine: quar, Stack: stack,
 	}
 }
@@ -817,7 +911,7 @@ func resultFromRecord(rec resilience.Record) (injResult, error) {
 		return injResult{}, err
 	}
 	return injResult{
-		class: class, sig: sig, destLive: rec.DestLive,
+		class: class, sig: sig, destLive: rec.DestLive, repairSafe: rec.RepairSafe,
 		latency: rec.Latency, hasLatency: rec.HasLatency, retired: rec.Retired,
 	}, nil
 }
@@ -841,8 +935,8 @@ func (c *Campaign) executed(i, w int, r injResult) {
 	if c.Observer != nil {
 		c.Observer.Executed(Execution{
 			Index: i, Worker: w, Class: r.class, Signal: r.sig,
-			DestLive: r.destLive,
-			Retired:  r.retired, Latency: r.latency, HasLatency: r.hasLatency,
+			DestLive: r.destLive, RepairSafe: r.repairSafe,
+			Retired: r.retired, Latency: r.latency, HasLatency: r.hasLatency,
 		})
 	}
 }
@@ -852,6 +946,7 @@ type injResult struct {
 	class      outcome.Class
 	sig        vm.Signal
 	destLive   bool
+	repairSafe bool
 	latency    uint64
 	hasLatency bool
 	retired    uint64
@@ -903,10 +998,15 @@ func (c *Campaign) classify(ro *RunOutcome, golden []float64) (injResult, uint64
 	}
 	pages := ro.Machine.Mem.CopiedPages()
 	ro.Machine = nil
+	repairSafe := false
+	if c.stateSet != nil {
+		repairSafe, _ = c.stateSet.RepairSafeAt(ro.Plan.Site.Addr)
+	}
 	return injResult{
 		class:      outcome.Classify(rec),
 		sig:        sig,
 		destLive:   ro.DestLive,
+		repairSafe: repairSafe,
 		latency:    ro.CrashLatency,
 		hasLatency: ro.HasLatency,
 		retired:    ro.Retired,

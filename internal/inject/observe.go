@@ -62,6 +62,7 @@ func (o *obsObserver) Executed(e Execution) {
 		App: o.app, Index: e.Index, Worker: e.Worker,
 		Class: e.Class.String(), Signal: sig,
 		Retired: e.Retired, CrashLatency: e.Latency, HasLatency: e.HasLatency,
+		RepairSafe: e.RepairSafe,
 	})
 	o.hub.Emit(obs.OutcomeEvent{App: o.app, Index: e.Index, Class: e.Class.String()})
 	o.hub.Counter("letgo_injections_total", "app", o.app, "class", e.Class.String()).Inc()
@@ -72,6 +73,12 @@ func (o *obsObserver) Executed(e Execution) {
 	}
 	o.status.Record(e.Class.String(), e.Class.Quarantined())
 	o.prog.Step(e.Class.String())
+}
+
+// Analyzed mirrors the memory-dependency analysis summary into the status
+// tracker (the campaign calls it through the optional Analyzed extension).
+func (o *obsObserver) Analyzed(regions, liveRegions int, derivedBytes, fullBytes uint64) {
+	o.status.SetAnalysis(regions, liveRegions, derivedBytes, fullBytes)
 }
 
 // Restored mirrors a journal-restored injection into the status tracker

@@ -28,10 +28,10 @@ type cancelAfter struct {
 	cancel context.CancelFunc
 }
 
-func (o *cancelAfter) Phase(string)            {}
+func (o *cancelAfter) Phase(string)             {}
 func (o *cancelAfter) Planned(int, inject.Plan) {}
-func (o *cancelAfter) Done(*inject.Result)     {}
-func (o *cancelAfter) Failed(string, error)    {}
+func (o *cancelAfter) Done(*inject.Result)      {}
+func (o *cancelAfter) Failed(string, error)     {}
 func (o *cancelAfter) Executed(inject.Execution) {
 	if o.count.Add(1) == o.k {
 		o.cancel()

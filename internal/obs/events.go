@@ -44,6 +44,9 @@ type InjectionExecutedEvent struct {
 	Retired      uint64 `json:"retired"`
 	CrashLatency uint64 `json:"crash_latency,omitempty"`
 	HasLatency   bool   `json:"has_latency,omitempty"`
+	// RepairSafe marks injections whose site the memory-dependency
+	// analysis certified repair-safe; always false without analysis.
+	RepairSafe bool `json:"repair_safe,omitempty"`
 }
 
 func (InjectionExecutedEvent) EventType() string { return "injection_executed" }

@@ -32,6 +32,16 @@ type StatusSnapshot struct {
 	// ETASeconds estimates the time to finish the current campaign from
 	// the observed rate; 0 when unknown or finished.
 	ETASeconds float64 `json:"eta_seconds"`
+	// CkptModel names the checkpoint cost model in effect (paper or
+	// derived) for simulator runs; empty elsewhere.
+	CkptModel string `json:"ckpt_model,omitempty"`
+	// Analysis facts from the memory-dependency pass, when it ran: the
+	// region partition size, the live (minimal checkpoint) region count,
+	// and the derived-vs-full checkpoint byte sizes.
+	AnalysisRegions        int    `json:"analysis_regions,omitempty"`
+	AnalysisLiveRegions    int    `json:"analysis_live_regions,omitempty"`
+	DerivedCheckpointBytes uint64 `json:"derived_checkpoint_bytes,omitempty"`
+	FullStateBytes         uint64 `json:"full_state_bytes,omitempty"`
 }
 
 // CampaignStatus accumulates live campaign state for /status. All methods
@@ -48,6 +58,11 @@ type CampaignStatus struct {
 	outcomes      map[string]int
 	campaignsDone int
 	interrupted   bool
+	ckptModel     string
+	anRegions     int
+	anLiveRegions int
+	derivedBytes  uint64
+	fullBytes     uint64
 	start         time.Time
 	now           func() time.Time
 }
@@ -79,7 +94,32 @@ func (s *CampaignStatus) Begin(app, mode string, n int) {
 	s.completed, s.resumed, s.quarantined = 0, 0, 0
 	s.outcomes = make(map[string]int)
 	s.interrupted = false
+	s.anRegions, s.anLiveRegions = 0, 0
+	s.derivedBytes, s.fullBytes = 0, 0
 	s.start = s.now()
+}
+
+// SetCkptModel records the checkpoint cost model in effect (sim runs).
+func (s *CampaignStatus) SetCkptModel(model string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ckptModel = model
+	s.mu.Unlock()
+}
+
+// SetAnalysis records the memory-dependency analysis summary: region
+// partition size, live region count, and derived-vs-full checkpoint
+// bytes.
+func (s *CampaignStatus) SetAnalysis(regions, liveRegions int, derivedBytes, fullBytes uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.anRegions, s.anLiveRegions = regions, liveRegions
+	s.derivedBytes, s.fullBytes = derivedBytes, fullBytes
+	s.mu.Unlock()
 }
 
 // SetPhase records the campaign entering a lifecycle phase.
@@ -161,6 +201,9 @@ func (s *CampaignStatus) Snapshot() StatusSnapshot {
 		App: s.app, Mode: s.mode, Phase: s.phase, N: s.n,
 		Completed: s.completed, Resumed: s.resumed, Quarantined: s.quarantined,
 		CampaignsDone: s.campaignsDone, Interrupted: s.interrupted,
+		CkptModel:       s.ckptModel,
+		AnalysisRegions: s.anRegions, AnalysisLiveRegions: s.anLiveRegions,
+		DerivedCheckpointBytes: s.derivedBytes, FullStateBytes: s.fullBytes,
 	}
 	if len(s.outcomes) > 0 {
 		snap.Outcomes = make(map[string]int, len(s.outcomes))

@@ -89,6 +89,13 @@ func (a *Analysis) DestLiveAt(addr uint64) (live, ok bool) {
 	return a.Static().DestLiveAt(addr)
 }
 
+// CheckpointSet derives the minimal checkpoint state set and
+// repair-safety facts for the given acceptance-output globals, running
+// the region and dependency passes on first use.
+func (a *Analysis) CheckpointSet(outputs []string) (*analysis.StateSet, error) {
+	return a.Static().CheckpointSet(outputs)
+}
+
 // Profile is the result of the one-time profiling phase: the total dynamic
 // instruction count and the execution count of every static instruction.
 // The fault injector samples a uniformly random dynamic instruction from

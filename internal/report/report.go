@@ -71,6 +71,18 @@ type CampaignRow struct {
 	DeadDestFrac float64 `json:"dead_dest_frac"`
 	MaskedDead   float64 `json:"masked_dead"`
 	MaskedLive   float64 `json:"masked_live"`
+	// Repair-safety correlation from the memory-dependency analysis: the
+	// fraction of injections that hit a certified repair-safe destination
+	// site, and the silent-corruption (SDC + C-SDC) rate within the safe
+	// and unsafe groups. All zero when the analysis did not run.
+	RepairSafeFrac float64 `json:"repair_safe_frac"`
+	SDCSafe        float64 `json:"sdc_in_safe"`
+	SDCUnsafe      float64 `json:"sdc_in_unsafe"`
+	// Derived-checkpoint facts (JSON only).
+	DerivedCheckpointBytes uint64 `json:"derived_checkpoint_bytes,omitempty"`
+	FullStateBytes         uint64 `json:"full_state_bytes,omitempty"`
+	AnalysisRegions        int    `json:"analysis_regions,omitempty"`
+	AnalysisLiveRegions    int    `json:"analysis_live_regions,omitempty"`
 }
 
 // Row flattens a campaign result.
@@ -100,6 +112,14 @@ func Row(r *inject.Result) CampaignRow {
 		DeadDestFrac:       frac(r.DeadDest.N, r.N),
 		MaskedDead:         inject.MaskedFrac(&r.DeadDest),
 		MaskedLive:         inject.MaskedFrac(&r.LiveDest),
+		RepairSafeFrac:     frac(r.SafeSite.N, r.N),
+		SDCSafe:            inject.SDCFrac(&r.SafeSite),
+		SDCUnsafe:          inject.SDCFrac(&r.UnsafeSite),
+
+		DerivedCheckpointBytes: r.DerivedBytes,
+		FullStateBytes:         r.FullBytes,
+		AnalysisRegions:        r.AnalysisRegions,
+		AnalysisLiveRegions:    r.AnalysisLiveRegions,
 	}
 }
 
@@ -115,6 +135,7 @@ var campaignHeaders = []string{
 	"c_detected", "c_benign", "c_sdc", "hang", "c_hang", "harness_fault", "crash_rate",
 	"continuability", "continued_correct", "continued_sdc",
 	"median_crash_latency", "dead_dest", "masked_dead", "masked_live",
+	"repair_safe", "sdc_safe", "sdc_unsafe",
 }
 
 func (r CampaignRow) cells() []string {
@@ -126,6 +147,7 @@ func (r CampaignRow) cells() []string {
 		pct(r.CHang), pct(r.HarnessFault), pct(r.CrashRate), pct(r.Continuability), pct(r.ContinuedCorrect),
 		pct(r.ContinuedSDC), fmt.Sprintf("%d", r.MedianCrashLatency),
 		pct(r.DeadDestFrac), pct(r.MaskedDead), pct(r.MaskedLive),
+		pct(r.RepairSafeFrac), pct(r.SDCSafe), pct(r.SDCUnsafe),
 	}
 }
 
@@ -172,6 +194,22 @@ type SimRow struct {
 	Standard float64 `json:"efficiency_standard"`
 	LetGo    float64 `json:"efficiency_letgo"`
 	Gain     float64 `json:"gain"`
+	// Checkpoint cost-model provenance (JSON only; text/CSV cells are
+	// unchanged so existing sweep consumers stay byte-stable). Set by
+	// AnnotateCkptModel when the sweep used -ckpt-model derived.
+	CkptModel              string `json:"ckpt_model,omitempty"`
+	DerivedCheckpointBytes uint64 `json:"derived_checkpoint_bytes,omitempty"`
+	FullStateBytes         uint64 `json:"full_state_bytes,omitempty"`
+}
+
+// AnnotateCkptModel stamps checkpoint cost-model provenance onto sweep
+// rows. Only the JSON rendering carries the annotation.
+func AnnotateCkptModel(rows []SimRow, model string, derivedBytes, fullBytes uint64) {
+	for i := range rows {
+		rows[i].CkptModel = model
+		rows[i].DerivedCheckpointBytes = derivedBytes
+		rows[i].FullStateBytes = fullBytes
+	}
 }
 
 // SimRows flattens a figure sweep.
@@ -220,6 +258,64 @@ func Sims(w io.Writer, format Format, rows []SimRow) error {
 		return markdownTable(w, simHeaders, cells)
 	case Text:
 		return textTable(w, simHeaders, cells)
+	}
+	return fmt.Errorf("report: unknown format %q", format)
+}
+
+// StateRow is the serializable view of one app's derived checkpoint
+// state set (the memory-dependency analysis summary).
+type StateRow struct {
+	App          string  `json:"app"`
+	Regions      int     `json:"regions"`
+	LiveRegions  int     `json:"live_regions"`
+	DerivedBytes uint64  `json:"derived_bytes"`
+	FullBytes    uint64  `json:"full_bytes"`
+	DerivedFrac  float64 `json:"derived_frac"`
+	SafeSites    int     `json:"safe_sites"`
+	DestSites    int     `json:"dest_sites"`
+}
+
+var stateHeaders = []string{
+	"app", "regions", "live_regions", "derived_bytes", "full_bytes",
+	"derived_frac", "safe_sites", "dest_sites",
+}
+
+func (r StateRow) cells() []string {
+	return []string{
+		r.App, fmt.Sprintf("%d", r.Regions), fmt.Sprintf("%d", r.LiveRegions),
+		fmt.Sprintf("%d", r.DerivedBytes), fmt.Sprintf("%d", r.FullBytes),
+		fmt.Sprintf("%.4f%%", 100*r.DerivedFrac),
+		fmt.Sprintf("%d", r.SafeSites), fmt.Sprintf("%d", r.DestSites),
+	}
+}
+
+// States renders derived checkpoint state-set rows.
+func States(w io.Writer, format Format, rows []StateRow) error {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = r.cells()
+	}
+	switch format {
+	case JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	case CSV:
+		cw := csv.NewWriter(w)
+		if err := cw.Write(stateHeaders); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if err := cw.Write(c); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case Markdown:
+		return markdownTable(w, stateHeaders, cells)
+	case Text:
+		return textTable(w, stateHeaders, cells)
 	}
 	return fmt.Errorf("report: unknown format %q", format)
 }

@@ -57,6 +57,7 @@ type Record struct {
 	Class      string `json:"class"`
 	Signal     string `json:"signal,omitempty"`
 	DestLive   bool   `json:"dest_live,omitempty"`
+	RepairSafe bool   `json:"repair_safe,omitempty"`
 	Latency    uint64 `json:"latency,omitempty"`
 	HasLatency bool   `json:"has_latency,omitempty"`
 	Retired    uint64 `json:"retired,omitempty"`
