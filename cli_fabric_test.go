@@ -1,0 +1,127 @@
+package letgo
+
+// CLI acceptance for the sharded campaign fabric: -shard syntax and
+// mutual-exclusion errors pin the usage contract, and a real 3-shard
+// run merged with -merge must render the same bytes as one process
+// doing all the work.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInjectCLIShardFlagErrors pins the -shard/-merge usage contract:
+// malformed or contradictory flag combinations exit 1 (the semantic
+// flag-error code) with a diagnostic naming the problem.
+func TestInjectCLIShardFlagErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	bin := buildInject(t, dir)
+	journal := filepath.Join(dir, "j.jsonl")
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"shard index zero", []string{"-shard", "0/3"}, "shard index is 1-based"},
+		{"shard index past count", []string{"-shard", "4/3"}, "exceeds shard count"},
+		{"shard count zero", []string{"-shard", "1/0"}, "shard count must be positive"},
+		{"shard zero over zero", []string{"-shard", "0/0"}, "bad shard spec"},
+		{"shard junk", []string{"-shard", "banana"}, "bad shard spec"},
+		{"shard without journal", []string{"-shard", "1/3"}, "-shard requires -journal"},
+		{"merge with shard", []string{"-shard", "1/3", "-journal", journal, "-merge", "x*.jsonl"}, "mutually exclusive"},
+		{"merge with journal", []string{"-journal", journal, "-merge", "x*.jsonl"}, "no -journal or -resume"},
+		{"merge matching nothing", []string{"-merge", filepath.Join(dir, "nope-*.jsonl")}, "matches no journals"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-apps", "CLAMR", "-n", "4"}, tc.args...)
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			if code := exitCode(err); code != 1 {
+				t.Errorf("exit code = %d, want 1\n%s", code, out)
+			}
+			if !strings.Contains(string(out), tc.wantErr) {
+				t.Errorf("output missing %q:\n%s", tc.wantErr, out)
+			}
+		})
+	}
+}
+
+// TestInjectCLIShardedMerge runs one campaign as three sequential shard
+// processes plus a merge process and requires the merged table to be
+// byte-identical to the single-process run. A merge over an incomplete
+// shard set must instead report an interrupted partial (exit 3).
+func TestInjectCLIShardedMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	bin := buildInject(t, dir)
+	args := []string{"-apps", "CLAMR,HPL", "-n", "30", "-mode", "E", "-seed", "11", "-workers", "2"}
+
+	want, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		journal := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		shardArgs := append(args, "-journal", journal, "-shard", fmt.Sprintf("%d/3", i))
+		if out, err := exec.Command(bin, shardArgs...).CombinedOutput(); err != nil {
+			t.Fatalf("shard %d/3: %v\n%s", i, err, out)
+		}
+	}
+
+	got, err := exec.Command(bin, append(args, "-merge", filepath.Join(dir, "shard-*.jsonl"))...).Output()
+	if err != nil {
+		t.Fatalf("merge run: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("merged table differs from single-process run:\n--- merged\n%s--- reference\n%s", got, want)
+	}
+
+	// Merging only two of the three shard journals is an incomplete
+	// campaign: the tool renders the partial and exits 3, like any other
+	// interrupted run.
+	partial := exec.Command(bin, append(args, "-merge", filepath.Join(dir, "shard-[12].jsonl"))...)
+	out, err := partial.CombinedOutput()
+	if code := exitCode(err); code != 3 {
+		t.Errorf("partial merge exit code = %d, want 3\n%s", code, out)
+	}
+}
+
+// TestInjectCLIMergeConflict crafts two shard journals that disagree
+// about the same injection: the merge must name the collision and refuse
+// to render rather than silently let the last record win.
+func TestInjectCLIMergeConflict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain")
+	}
+	dir := t.TempDir()
+	bin := buildInject(t, dir)
+	rec := `{"app":"CLAMR","mode":"letgo-e","n":4,"seed":11,"model":"bitflip","writer":"%s","index":1,"class":"%s"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "shard-1.jsonl"),
+		[]byte(fmt.Sprintf(rec, "1/2", "Benign")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-2.jsonl"),
+		[]byte(fmt.Sprintf(rec, "2/2", "SDC")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin,
+		"-apps", "CLAMR", "-n", "4", "-mode", "E", "-seed", "11",
+		"-merge", filepath.Join(dir, "shard-*.jsonl")).CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Errorf("conflicting merge exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "shard collision") ||
+		!strings.Contains(string(out), "conflicting shard record") {
+		t.Errorf("output does not name the collision:\n%s", out)
+	}
+}

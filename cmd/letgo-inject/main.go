@@ -11,8 +11,17 @@
 //	letgo-inject -journal c.jsonl -n 2000 ...           # killable
 //	letgo-inject -journal c.jsonl -resume -n 2000 ...   # ...and resumable
 //
+// One campaign can be split across independent processes (docs/FABRIC.md):
+// each process plans the same campaign, executes only its i/n shard into
+// its own journal, and a final merge renders the table byte-identically
+// to a single-process run:
+//
+//	letgo-inject -shard 1/3 -journal s1.jsonl -n 2000 ...  # per shard
+//	letgo-inject -merge 's*.jsonl' -n 2000 ...             # final table
+//
 // Exit codes: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
-// results were printed and the journal, if any, supports -resume).
+// results were printed and the journal, if any, supports -resume; a
+// merge over incomplete shard journals also exits 3).
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -63,6 +73,17 @@ var journal *resilience.Journal
 // watchdogSel is the -watchdog per-injection wall-clock bound.
 var watchdogSel time.Duration
 
+// shardSel is the -shard work-unit spec applied to every campaign; the
+// zero value runs whole campaigns.
+var shardSel inject.ShardSpec
+
+// merged holds the -merge mode's combined shard journals (nil outside
+// merge mode), with the file count and writer identities kept for the
+// JSON provenance annotation.
+var merged *resilience.Journal
+var mergedJournals int
+var mergedWriters []string
+
 // plane is the -serve observability server; nil without the flag. Closed
 // explicitly on every exit path (main leaves through os.Exit, so defers
 // would not run) to end SSE streams cleanly.
@@ -90,6 +111,8 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve the live observability plane on this address (/metrics, /events, /status, /healthz, /debug/pprof)")
 	journalPath := flag.String("journal", "", "append completed injections to this JSONL journal (crash-safe; enables -resume)")
 	resume := flag.Bool("resume", false, "restore completed injections from the -journal file instead of re-executing them")
+	shardFlag := flag.String("shard", "", "execute only work unit i/n of each campaign (1-based; requires -journal) for a later -merge")
+	mergeFlag := flag.String("merge", "", "merge the shard journals matching this glob and render the final tables without executing injections")
 	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound; expired injections are quarantined as C-Hang (0 = off)")
 	deadline := flag.Duration("deadline", 0, "whole-invocation wall-clock bound; on expiry campaigns drain and partial results print (0 = off)")
 	flag.Parse()
@@ -121,6 +144,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "letgo-inject: observability plane on http://%s (metrics, events, status, healthz, debug/pprof)\n", plane.Addr())
 	}
 
+	if *shardFlag != "" {
+		if shardSel, err = inject.ParseShardSpec(*shardFlag); err != nil {
+			fatal(err)
+		}
+		if *journalPath == "" {
+			fatal(fmt.Errorf("-shard requires -journal (the shard journal is what -merge consumes)"))
+		}
+	}
+	if *mergeFlag != "" {
+		switch {
+		case *shardFlag != "":
+			fatal(fmt.Errorf("-merge and -shard are mutually exclusive"))
+		case *journalPath != "" || *resume:
+			fatal(fmt.Errorf("-merge reads shard journals; it takes no -journal or -resume"))
+		}
+		var collisions []resilience.Collision
+		if merged, collisions, err = resilience.MergeGlob(*mergeFlag); err != nil {
+			fatal(err)
+		}
+		conflicting := 0
+		for _, col := range collisions {
+			fmt.Fprintf(os.Stderr, "letgo-inject: shard collision: %s\n", col)
+			if !col.Identical {
+				conflicting++
+			}
+		}
+		if conflicting > 0 {
+			fatal(fmt.Errorf("%d conflicting shard record(s); refusing to merge (shards disagree about the same injection)", conflicting))
+		}
+		paths, _ := filepath.Glob(*mergeFlag)
+		mergedJournals = len(paths)
+		mergedWriters = merged.Writers()
+	}
 	if *resume && *journalPath == "" {
 		fatal(fmt.Errorf("-resume requires -journal"))
 	}
@@ -159,6 +215,9 @@ func main() {
 				break
 			}
 			rows = append(rows, report.Row(r))
+		}
+		if merged != nil {
+			report.AnnotateMerge(rows, mergedJournals, mergedWriters)
 		}
 		if err := report.Campaigns(os.Stdout, format, rows); err != nil {
 			fatal(err)
@@ -285,11 +344,18 @@ func mustRun(c *inject.Campaign) *inject.Result {
 	c.Engine = engineSel
 	c.Journal = journal
 	c.Watchdog = watchdogSel
+	c.ShardSpec = shardSel
 	if telem.Enabled() {
 		c.Obs = telem.Hub
 		c.Observer = inject.NewObsObserver(c.App.Name, c.Mode, c.N, telem.Hub, telem.Progress, telem.Status)
 	}
-	r, err := c.RunContext(runCtx)
+	var r *inject.Result
+	var err error
+	if merged != nil {
+		r, err = c.MergeContext(runCtx, merged)
+	} else {
+		r, err = c.RunContext(runCtx)
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// The signal (or -deadline) landed before this campaign's
 		// injection phase: nothing to render, count the whole campaign
@@ -302,7 +368,7 @@ func mustRun(c *inject.Campaign) *inject.Result {
 		fatal(err)
 	}
 	progressTally.completed += r.Completed
-	progressTally.total += r.N
+	progressTally.total += r.Planned
 	if r.Interrupted {
 		progressTally.interrupted = true
 	}

@@ -3,18 +3,11 @@ package inject
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/letgo-hpc/letgo/internal/analysis"
 	"github.com/letgo-hpc/letgo/internal/apps"
 	"github.com/letgo-hpc/letgo/internal/core"
-	"github.com/letgo-hpc/letgo/internal/debug"
-	"github.com/letgo-hpc/letgo/internal/engine"
-	"github.com/letgo-hpc/letgo/internal/isa"
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/outcome"
 	"github.com/letgo-hpc/letgo/internal/pin"
@@ -22,6 +15,21 @@ import (
 	"github.com/letgo-hpc/letgo/internal/stats"
 	"github.com/letgo-hpc/letgo/internal/vm"
 )
+
+// The campaign is an explicit four-stage pipeline (docs/FABRIC.md):
+//
+//	Plan    (plan.go)    compile + analysis + golden + profile + sampling;
+//	                     pure and deterministic for a fixed configuration
+//	Shard   (shard.go)   deterministic partition of the planned
+//	                     injections into i/n work units
+//	Execute (execute.go) per-unit runner over the fork/rerun engines,
+//	                     journaling under a shard-stamped writer identity
+//	Merge   (merge.go)   combine any set of shard journals and render the
+//	                     final result, byte-identical to a single-process
+//	                     run
+//
+// Campaign.Run remains the single-process facade: Plan, Shard (the whole
+// campaign as one unit), Execute.
 
 // Engine selects the execution substrate for the campaign's injected
 // runs. Both engines produce byte-identical results for a fixed seed; the
@@ -143,6 +151,14 @@ type Campaign struct {
 	// retired instructions; 0 means engine.DefaultWaypointEvery.
 	WaypointEvery uint64
 
+	// ShardSpec, when non-zero, restricts Run to one deterministic i/n
+	// slice of the planned injections (see Shard): the process plans the
+	// whole campaign, executes only its own work unit, and journals it
+	// under the shard's writer identity. A later Merge over all shard
+	// journals reconstructs the full campaign byte-identically. The zero
+	// value runs the whole campaign.
+	ShardSpec ShardSpec
+
 	// Journal, when non-nil, persists every classified injection
 	// (chunked, atomic write-temp-rename) and seeds the run with
 	// previously completed work: injections already journaled under this
@@ -164,20 +180,16 @@ type Campaign struct {
 	// body just before plan i executes. It exists so tests can inject
 	// harness faults (panics, stalls) at precise points.
 	beforeInjection func(i int)
-
-	// stateSet is the app's derived checkpoint/repair-safety analysis,
-	// computed once during the compile phase when the app declares
-	// acceptance globals.
-	stateSet *analysis.StateSet
 }
 
 // EngineStats describes the execution-substrate work of one campaign.
 // It is diagnostic only: report tables and outcome classifications never
 // depend on it, and it is all zeros for the rerun engine (which has no
-// waypoints, forks nothing, and saves nothing). Quarantined injections
-// drop their step's deltas, so stats may undercount after a quarantine.
+// waypoints, forks nothing, and saves nothing) and for merged results
+// (which execute nothing). Quarantined injections drop their step's
+// deltas, so stats may undercount after a quarantine.
 type EngineStats struct {
-	Engine    string // "fork" or "rerun"
+	Engine    string // "fork", "rerun" or "merge"
 	Waypoints int    // waypoints recorded during the golden run
 	Forks     uint64 // machine forks (waypoints + positioning + per-run)
 	// PagesCopied counts COW page faults across the golden recording and
@@ -230,16 +242,23 @@ type Result struct {
 	// instructions saved). Diagnostic only — excluded from report tables.
 	EngineStats EngineStats
 
+	// Shard is the executed work unit's identity ("2/3"), or "" for
+	// whole-campaign (and merged) results.
+	Shard string
+	// Planned counts the injections this run was responsible for: the
+	// work unit's size for a shard, N otherwise.
+	Planned int
 	// Completed counts classified injections, including journal-restored
-	// ones; it equals N unless Interrupted.
+	// ones; it equals Planned unless Interrupted.
 	Completed int
 	// Resumed counts injections restored from the journal instead of
 	// re-executed.
 	Resumed int
-	// Interrupted reports that the campaign's context was cancelled
-	// before all N injections classified. Counts then covers only the
-	// Completed injections, and the journal (if any) holds exactly the
-	// state a resumed run needs.
+	// Interrupted reports that the run classified fewer injections than
+	// it was responsible for (cancelled mid-flight, or a merge over
+	// incomplete shard journals). Counts then covers only the Completed
+	// injections, and the journal (if any) holds exactly the state a
+	// resumed run needs.
 	Interrupted bool
 }
 
@@ -277,7 +296,8 @@ func (c *Campaign) phase(name string) {
 
 // journalKey identifies this campaign's records inside a resume journal.
 // Engine and worker count are deliberately excluded: results are
-// independent of both, so a campaign may resume on a different substrate.
+// independent of both, so a campaign may resume on a different substrate
+// — and shards running different engines still merge byte-identically.
 func (c *Campaign) journalKey() resilience.Key {
 	return resilience.Key{
 		App: c.App.Name, Mode: c.Mode.String(), N: c.N,
@@ -292,234 +312,27 @@ func (c *Campaign) Run() (*Result, error) {
 	return c.RunContext(context.Background())
 }
 
-// RunContext executes the campaign under a context. Cancellation is
-// graceful: workers finish their in-flight injections, the journal is
-// flushed, and the partial result is aggregated and returned with
-// Interrupted set (nil error), so callers can render what completed and
-// resume the rest later. A context cancelled before the injection phase
-// returns ctx's error instead — there is nothing to render yet.
-func (c *Campaign) RunContext(ctx context.Context) (res *Result, err error) {
-	if c.App == nil || c.N <= 0 {
-		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
-	}
-	curPhase := ""
-	defer func() {
-		if err != nil {
-			// Whatever already completed is worth keeping for a resume,
-			// and the observer stream must end with a close record.
-			c.Journal.Flush()
-			if c.Observer != nil {
-				c.Observer.Failed(curPhase, err)
-			}
-		}
-	}()
-	setPhase := func(name string) {
-		curPhase = name
-		c.phase(name)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	c.registerMetrics()
-	campaignStart := time.Now()
-
-	setPhase(PhaseCompile)
-	spCompile := c.Obs.StartSpan("compile", "app", c.App.Name)
-	prog, err := c.App.Compile()
+// RunContext executes the campaign under a context, as a facade over the
+// pipeline stages: Plan, Shard (the whole campaign unless ShardSpec says
+// otherwise), Execute. Cancellation is graceful: workers finish their
+// in-flight injections, the journal is flushed, and the partial result
+// is aggregated and returned with Interrupted set (nil error), so
+// callers can render what completed and resume the rest later. A context
+// cancelled before the injection phase returns ctx's error instead —
+// there is nothing to render yet.
+func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
+	p, err := c.PlanContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	an := pin.Analyze(prog)
-	spCompile.End()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Memory-dependency analysis: derive the app's minimal checkpoint set
-	// and repair-safety facts once, ahead of the workers. Apps without
-	// declared acceptance globals (ad-hoc programs) skip it.
-	if outputs := c.App.AcceptanceGlobals(); len(outputs) > 0 {
-		spAnalysis := c.Obs.StartSpan("analysis", "app", c.App.Name)
-		ss, aerr := an.CheckpointSet(outputs)
-		spAnalysis.End()
-		if aerr != nil {
-			return nil, fmt.Errorf("inject: analysis of %s: %w", c.App.Name, aerr)
-		}
-		c.stateSet = ss
-		c.reportAnalysis(an, ss)
-	}
-
-	// Golden run: acceptance data and output to compare against. The fork
-	// engine records it once with waypoint snapshots; the rerun engine
-	// executes it plainly (and will pay a second execution for profiling).
-	setPhase(PhaseGolden)
-	spGolden := c.Obs.StartSpan("golden", "app", c.App.Name, "engine", c.Engine.String())
-	var gold *engine.Golden
-	var gm *vm.Machine
-	const profileBudget = 1 << 32
-	if c.Engine == EngineRerun {
-		if gm, err = c.App.NewMachine(); err != nil {
-			return nil, err
-		}
-		if err := gm.Run(profileBudget); err != nil {
-			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
-		}
-	} else {
-		if gold, err = engine.RecordObs(prog, vm.Config{}, c.WaypointEvery, profileBudget, c.Obs); err != nil {
-			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
-		}
-		gm = gold.Final
-	}
-	factor := c.BudgetFactor
-	if factor == 0 {
-		factor = 3
-	}
-	goldenOK, err := c.App.Accept(gm)
+	unit, err := p.Shard(c.ShardSpec)
 	if err != nil {
-		return nil, err
-	}
-	if !goldenOK {
-		return nil, fmt.Errorf("inject: golden run of %s fails its acceptance check", c.App.Name)
-	}
-	golden, err := c.App.Output(gm)
-	if err != nil {
-		return nil, err
-	}
-	budget := uint64(float64(gm.Retired)*factor) + 100_000
-	spGolden.End()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Profiling phase (Section 5.4). The fork engine observed the profile
-	// while recording; the rerun engine runs the program again to count.
-	setPhase(PhaseProfile)
-	spProfile := c.Obs.StartSpan("profile", "app", c.App.Name, "engine", c.Engine.String())
-	var prof *pin.Profile
-	if c.Engine == EngineRerun {
-		if prof, err = an.ProfileRun(vm.Config{}, profileBudget); err != nil {
-			return nil, err
-		}
-	} else {
-		prof = gold.Profile()
-	}
-	spProfile.End()
-
-	// Pre-sample all plans from the root RNG so results do not depend on
-	// worker scheduling.
-	setPhase(PhasePlan)
-	spPlan := c.Obs.StartSpan("plan", "app", c.App.Name)
-	rng := stats.NewRNG(c.Seed)
-	plans := make([]Plan, c.N)
-	for i := range plans {
-		if plans[i], err = SamplePlanModel(prog, prof, rng, c.Model); err != nil {
-			return nil, err
-		}
 		if c.Observer != nil {
-			c.Observer.Planned(i, plans[i])
+			c.Observer.Failed(PhasePlan, err)
 		}
-	}
-	spPlan.End()
-
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > c.N {
-		workers = c.N
-	}
-	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	setPhase(PhaseInject)
-	spInject := c.Obs.StartSpan("inject", "app", c.App.Name, "engine", c.Engine.String())
-	results := make([]injResult, c.N)
-	completed := make([]bool, c.N)
-	resumed, err := c.restoreFromJournal(results, completed)
-	if err != nil {
-		return nil, err
-	}
-
-	estats := EngineStats{Engine: c.Engine.String()}
-	if c.Engine == EngineRerun {
-		err = c.runRerun(ctx, prog, an, plans, budget, golden, workers, results, completed)
-	} else {
-		err = c.runFork(ctx, gold, an, plans, budget, golden, workers, results, completed, &estats)
-	}
-	if err != nil {
-		return nil, err
-	}
-	spInject.End()
-	if ferr := c.Journal.Flush(); ferr != nil {
-		return nil, ferr
-	}
-	if c.Obs != nil {
-		c.Obs.Counter("letgo_engine_forks_total").Add(estats.Forks)
-		c.Obs.Counter("letgo_engine_pages_copied_total").Add(estats.PagesCopied)
-		c.Obs.Counter("letgo_engine_instructions_replayed_total").Add(estats.InstrsReplayed)
-		c.Obs.Counter("letgo_engine_instructions_saved_total").Add(estats.InstrsSaved)
-	}
-
-	completedCount := 0
-	for _, ok := range completed {
-		if ok {
-			completedCount++
-		}
-	}
-	res = &Result{
-		App:           c.App.Name,
-		Mode:          c.Mode,
-		N:             c.N,
-		GoldenRetired: gm.Retired,
-		Signals:       map[vm.Signal]int{},
-		EngineStats:   estats,
-		Completed:     completedCount,
-		Resumed:       resumed,
-		Interrupted:   completedCount < c.N,
-	}
-	if c.stateSet != nil {
-		res.DerivedBytes = c.stateSet.DerivedBytes
-		res.FullBytes = c.stateSet.FullBytes
-		res.AnalysisRegions = c.stateSet.RegionCount()
-		res.AnalysisLiveRegions = c.stateSet.Live.Count()
-	}
-	for i, r := range results {
-		if !completed[i] {
-			continue
-		}
-		res.Counts.Add(r.class)
-		if r.destLive {
-			res.LiveDest.Add(r.class)
-		} else {
-			res.DeadDest.Add(r.class)
-		}
-		if c.stateSet != nil {
-			if r.repairSafe {
-				res.SafeSite.Add(r.class)
-			} else {
-				res.UnsafeSite.Add(r.class)
-			}
-		}
-		if r.class.CrashBranch() && r.sig != vm.SIGNONE {
-			res.Signals[r.sig]++
-		}
-		if r.hasLatency {
-			res.CrashLatencies = append(res.CrashLatencies, r.latency)
-		}
-	}
-	res.Metrics = outcome.ComputeMetrics(&res.Counts)
-	if res.Counts.N > 0 {
-		res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
-	}
-	if c.Obs != nil {
-		c.Obs.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name).
-			Set(time.Since(campaignStart).Seconds())
-	}
-	if c.Observer != nil {
-		c.Observer.Done(res)
-	}
-	return res, nil
+	return c.ExecuteContext(ctx, p, unit)
 }
 
 // reportAnalysis mirrors the memory-dependency analysis results into the
@@ -584,6 +397,9 @@ func (c *Campaign) registerMetrics() {
 	}
 	reg.Help("letgo_campaign_duration_seconds", "Wall-clock duration of the whole campaign, by app.")
 	reg.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name)
+	reg.Help("letgo_shard_index", "1-based index of the work unit this process executes (absent when unsharded).")
+	reg.Help("letgo_shard_count", "Total shard count of the campaign partition (absent when unsharded).")
+	reg.Help("letgo_shard_planned_injections", "Injections the executing shard owns, by app.")
 	reg.Help("letgo_analysis_regions", "Memory regions in the dependency analysis partition, by app.")
 	reg.Help("letgo_analysis_live_regions", "Regions in the derived minimal checkpoint set, by app.")
 	reg.Help("letgo_analysis_derived_checkpoint_bytes", "Derived minimal checkpoint size in bytes, by app.")
@@ -601,414 +417,4 @@ func (c *Campaign) registerMetrics() {
 		reg.Counter("letgo_outcomes_total", "class", cl.String())
 	}
 	reg.Help(obs.SpanHistogram, "Lifecycle span durations in seconds, by span name.")
-}
-
-// restoreFromJournal fills results with this campaign's journaled
-// injections and returns how many were restored.
-func (c *Campaign) restoreFromJournal(results []injResult, completed []bool) (int, error) {
-	if c.Journal == nil {
-		return 0, nil
-	}
-	done := c.Journal.Completed(c.journalKey())
-	// Observers that track live status learn about restored injections
-	// through the optional Restored extension (obsObserver implements it).
-	restoredObs, _ := c.Observer.(interface {
-		Restored(index int, class outcome.Class)
-	})
-	resumed := 0
-	for i, rec := range done {
-		if i < 0 || i >= c.N {
-			continue
-		}
-		r, err := resultFromRecord(rec)
-		if err != nil {
-			return 0, fmt.Errorf("inject: journal %s index %d: %w", c.Journal.Path(), i, err)
-		}
-		results[i] = r
-		completed[i] = true
-		resumed++
-		if c.Obs != nil {
-			// Keep the engine-independent class tally aligned with the
-			// table a resumed campaign will render.
-			c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
-		}
-		if restoredObs != nil {
-			restoredObs.Restored(i, r.class)
-		}
-	}
-	if resumed > 0 && c.Obs != nil {
-		c.Obs.Counter("letgo_resume_skipped_total").Add(uint64(resumed))
-		c.Obs.Emit(obs.ResumeEvent{App: c.App.Name, Skipped: resumed, Total: c.N})
-	}
-	return resumed, nil
-}
-
-// runRerun executes the campaign's injections on the rerun engine: each
-// worker takes a strided slice of plans and every injection re-executes
-// the whole prefix from PC 0 inside executeHub.
-func (c *Campaign) runRerun(ctx context.Context, prog *isa.Program, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, completed []bool) error {
-	errs := make([]error, workers)
-	// failed lets the first erroring worker stop the others early instead
-	// of letting them burn through their remaining injections.
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "rerun").End()
-			for i := w; i < c.N; i += workers {
-				if failed.Load() || ctx.Err() != nil {
-					return
-				}
-				if completed[i] {
-					continue // restored from the journal
-				}
-				i := i
-				r, quar, stack, err := supervise(c.Watchdog, func() (injResult, error) {
-					if c.beforeInjection != nil {
-						c.beforeInjection(i)
-					}
-					return c.one(prog, an, plans[i], budget, golden)
-				})
-				if err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
-				}
-				if quar != "" {
-					r = c.quarantine(i, quar, stack)
-				}
-				results[i] = r
-				completed[i] = true
-				c.finish(i, w, r, quar, stack)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// forkStep carries one fork-engine injection's outputs out of the
-// supervised body: the classified result, the (possibly re-forked)
-// replay machine handed back to the worker, and the engine-stat deltas
-// the step contributed.
-type forkStep struct {
-	r        injResult
-	cur      *vm.Machine
-	dbg      *debug.Debugger
-	forks    uint64
-	pages    uint64
-	replayed uint64
-	saved    uint64
-}
-
-// forkOne positions a replay machine at the injection's dynamic index
-// (re-forking from a waypoint when one leapfrogs the machine), runs the
-// injection on a COW fork of it, and classifies the outcome.
-func (c *Campaign) forkOne(gold *engine.Golden, an *pin.Analysis, plan Plan, budget uint64, golden []float64, when uint64, cur *vm.Machine, curDbg *debug.Debugger) (forkStep, error) {
-	var out forkStep
-	// Re-fork only when a waypoint is strictly ahead of the replay
-	// machine; otherwise stepping forward is cheaper.
-	if cur == nil || gold.NearestRetired(when) > cur.Retired {
-		if cur != nil {
-			out.pages += cur.Mem.CopiedPages()
-		}
-		cur, _ = gold.ForkAt(when)
-		curDbg = debug.New(cur)
-		out.forks++
-	}
-	replayFrom := cur.Retired
-	if stop := curDbg.RunToDynamic(when); stop != nil {
-		return out, fmt.Errorf("inject: clean replay to dynamic %d stopped: %v", when, stop.Reason)
-	}
-	out.replayed += when - replayFrom
-	out.saved += replayFrom
-	runM := cur.Fork()
-	out.forks++
-	spExec := c.Obs.StartSpan("execute", "engine", "fork")
-	ro, err := executeAt(gold.Prog, an, plan, c.Mode, c.Opts, budget, c.Obs, runM)
-	spExec.End()
-	if err != nil {
-		return out, err
-	}
-	r, pages, err := c.classify(&ro, golden)
-	if err != nil {
-		return out, err
-	}
-	out.pages += pages
-	out.r = r
-	out.cur, out.dbg = cur, curDbg
-	return out, nil
-}
-
-// runFork executes the campaign's injections on the fork-replay engine.
-//
-// All planned sites are first resolved to absolute retired-instruction
-// counts in one shared golden replay (ResolveWhens), then sorted by that
-// temporal position and split into contiguous chunks, one per worker.
-// Each worker keeps a single clean replay machine that only ever moves
-// forward: it advances to the next injection's position with RunToDynamic
-// and is re-forked from a waypoint only when a later waypoint leapfrogs
-// it. The injected run itself executes on a COW fork of the positioned
-// replay machine, so the clean prefix is never contaminated and is
-// executed at most once per worker per K-sized gap.
-func (c *Campaign) runFork(ctx context.Context, gold *engine.Golden, an *pin.Analysis, plans []Plan, budget uint64, golden []float64, workers int, results []injResult, completed []bool, estats *EngineStats) error {
-	sites := make([]pin.Site, len(plans))
-	for i, p := range plans {
-		sites[i] = p.Site
-	}
-	whens, err := gold.ResolveWhens(sites)
-	if err != nil {
-		return err
-	}
-	order := make([]int, len(plans))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if whens[order[a]] != whens[order[b]] {
-			return whens[order[a]] < whens[order[b]]
-		}
-		return order[a] < order[b]
-	})
-
-	var forks, pagesCopied, instrsReplayed, instrsSaved atomic.Uint64
-	errs := make([]error, workers)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "fork").End()
-			chunk := order[w*len(order)/workers : (w+1)*len(order)/workers]
-			var cur *vm.Machine
-			var curDbg *debug.Debugger
-			for _, i := range chunk {
-				if failed.Load() || ctx.Err() != nil {
-					return
-				}
-				if completed[i] {
-					continue // restored from the journal
-				}
-				// The supervised body gets the worker's replay machine by
-				// value and hands back a replacement only on success: a
-				// timed-out body's abandoned goroutine may still be using
-				// the machine, so quarantine discards it and the next
-				// injection re-forks from a frozen waypoint.
-				i, bodyCur, bodyDbg := i, cur, curDbg
-				out, quar, stack, err := supervise(c.Watchdog, func() (forkStep, error) {
-					if c.beforeInjection != nil {
-						c.beforeInjection(i)
-					}
-					return c.forkOne(gold, an, plans[i], budget, golden, whens[i], bodyCur, bodyDbg)
-				})
-				if err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
-				}
-				var r injResult
-				if quar != "" {
-					cur, curDbg = nil, nil
-					r = c.quarantine(i, quar, stack)
-				} else {
-					cur, curDbg = out.cur, out.dbg
-					forks.Add(out.forks)
-					pagesCopied.Add(out.pages)
-					instrsReplayed.Add(out.replayed)
-					instrsSaved.Add(out.saved)
-					r = out.r
-				}
-				results[i] = r
-				completed[i] = true
-				c.finish(i, w, r, quar, stack)
-			}
-			if cur != nil {
-				pagesCopied.Add(cur.Mem.CopiedPages())
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	estats.Waypoints = gold.Waypoints()
-	estats.Forks = uint64(gold.Waypoints()) + forks.Load()
-	estats.PagesCopied = gold.PagesCopied() + pagesCopied.Load()
-	estats.InstrsReplayed = instrsReplayed.Load()
-	estats.InstrsSaved = instrsSaved.Load()
-	return nil
-}
-
-// quarantine converts a harness fault on injection i into its quarantine
-// outcome class and records it in the obs sinks.
-func (c *Campaign) quarantine(i int, reason, stack string) injResult {
-	class := outcome.CHang
-	if reason == quarPanic {
-		class = outcome.HarnessFault
-	}
-	if c.Obs != nil {
-		c.Obs.Counter("letgo_quarantine_total", "reason", reason).Inc()
-		if reason == quarWatchdog {
-			c.Obs.Counter("letgo_watchdog_timeouts_total").Inc()
-		}
-		c.Obs.Emit(obs.QuarantineEvent{App: c.App.Name, Index: i, Reason: reason, Stack: stack})
-	}
-	return injResult{class: class}
-}
-
-// finish journals and reports one classified injection.
-func (c *Campaign) finish(i, w int, r injResult, quar, stack string) {
-	// Engine-independent per-class tally: both engines route every
-	// classified injection through here, so /metrics agrees with the
-	// rendered table.
-	if c.Obs != nil {
-		c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
-	}
-	if c.Journal != nil {
-		// Append errors are not fatal mid-campaign: the record stays in
-		// memory and the terminal Flush (whose error does surface)
-		// retries the write.
-		c.Journal.Append(c.record(i, r, quar, stack))
-		if c.Obs != nil {
-			c.Obs.Counter("letgo_resume_journaled_total").Inc()
-		}
-	}
-	c.executed(i, w, r)
-}
-
-// record converts one classified injection into its journal form.
-func (c *Campaign) record(i int, r injResult, quar, stack string) resilience.Record {
-	sig := ""
-	if r.sig != vm.SIGNONE {
-		sig = r.sig.String()
-	}
-	return resilience.Record{
-		Key: c.journalKey(), Index: i, Class: r.class.String(), Signal: sig,
-		DestLive: r.destLive, RepairSafe: r.repairSafe,
-		Latency: r.latency, HasLatency: r.hasLatency,
-		Retired: r.retired, Quarantine: quar, Stack: stack,
-	}
-}
-
-// resultFromRecord inverts record.
-func resultFromRecord(rec resilience.Record) (injResult, error) {
-	class, err := outcome.ParseClass(rec.Class)
-	if err != nil {
-		return injResult{}, err
-	}
-	sig, err := parseSignal(rec.Signal)
-	if err != nil {
-		return injResult{}, err
-	}
-	return injResult{
-		class: class, sig: sig, destLive: rec.DestLive, repairSafe: rec.RepairSafe,
-		latency: rec.Latency, hasLatency: rec.HasLatency, retired: rec.Retired,
-	}, nil
-}
-
-// parseSignal inverts vm.Signal.String for journal records ("" means
-// SIGNONE, which the journal omits).
-func parseSignal(s string) (vm.Signal, error) {
-	for _, sig := range []vm.Signal{vm.SIGNONE, vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
-		if s == sig.String() {
-			return sig, nil
-		}
-	}
-	if s == "" {
-		return vm.SIGNONE, nil
-	}
-	return vm.SIGNONE, fmt.Errorf("inject: unknown signal %q", s)
-}
-
-// executed delivers one classified injection to the observer, if any.
-func (c *Campaign) executed(i, w int, r injResult) {
-	if c.Observer != nil {
-		c.Observer.Executed(Execution{
-			Index: i, Worker: w, Class: r.class, Signal: r.sig,
-			DestLive: r.destLive, RepairSafe: r.repairSafe,
-			Retired: r.retired, Latency: r.latency, HasLatency: r.hasLatency,
-		})
-	}
-}
-
-// injResult is the classified observation of one injection.
-type injResult struct {
-	class      outcome.Class
-	sig        vm.Signal
-	destLive   bool
-	repairSafe bool
-	latency    uint64
-	hasLatency bool
-	retired    uint64
-}
-
-// one executes and classifies a single injection on the rerun engine.
-func (c *Campaign) one(prog *isa.Program, an *pin.Analysis, plan Plan, budget uint64, golden []float64) (injResult, error) {
-	spExec := c.Obs.StartSpan("execute", "engine", "rerun")
-	ro, err := executeHub(prog, an, plan, c.Mode, c.Opts, budget, c.Obs)
-	spExec.End()
-	if err != nil {
-		return injResult{}, err
-	}
-	r, _, err := c.classify(&ro, golden)
-	return r, err
-}
-
-// classify applies the app-level acceptance check and golden comparison
-// to a raw run outcome. It returns the COW page-copy cost of the run's
-// machine and then drops the machine reference from ro, so a finished
-// run's page tables become collectable while the campaign is still
-// executing (campaigns hold every injResult until aggregation, and N
-// machines' worth of dirty pages is the difference between a flat and a
-// linearly growing footprint).
-func (c *Campaign) classify(ro *RunOutcome, golden []float64) (injResult, uint64, error) {
-	defer c.Obs.StartSpan("classify").End()
-	rec := outcome.RunRecord{
-		Finished: ro.Finished,
-		Hang:     ro.Hang,
-		Repaired: ro.Repaired,
-	}
-	sig := ro.Signal
-	if ro.Repaired && sig == vm.SIGNONE {
-		sig = vm.SIGSEGV // at least one crash was elided; exact signal in events
-	}
-	if ro.Finished {
-		pass, err := c.App.Accept(ro.Machine)
-		if err != nil {
-			return injResult{}, 0, err
-		}
-		rec.CheckPassed = pass
-		if pass {
-			out, err := c.App.Output(ro.Machine)
-			if err != nil {
-				return injResult{}, 0, err
-			}
-			rec.MatchesGolden = c.App.MatchesGolden(out, golden)
-		}
-	}
-	pages := ro.Machine.Mem.CopiedPages()
-	ro.Machine = nil
-	repairSafe := false
-	if c.stateSet != nil {
-		repairSafe, _ = c.stateSet.RepairSafeAt(ro.Plan.Site.Addr)
-	}
-	return injResult{
-		class:      outcome.Classify(rec),
-		sig:        sig,
-		destLive:   ro.DestLive,
-		repairSafe: repairSafe,
-		latency:    ro.CrashLatency,
-		hasLatency: ro.HasLatency,
-		retired:    ro.Retired,
-	}, pages, nil
 }

@@ -1,0 +1,600 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/debug"
+	"github.com/letgo-hpc/letgo/internal/obs"
+	"github.com/letgo-hpc/letgo/internal/outcome"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/resilience"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// ExecuteContext is the pipeline's Execute stage: it runs exactly the
+// injections the work unit owns on the campaign's engine, journaling
+// each under the unit's shard-stamped writer identity, and aggregates
+// them into a Result. For the whole-campaign unit this is the classic
+// injection phase; for an i/n shard the Result covers only the shard's
+// work (Planned = unit size) and the journal is the product a later
+// Merge consumes.
+//
+// Journal-restored injections that belong to the unit are not
+// re-executed, so a killed shard resumes exactly like a killed campaign.
+// Records outside the unit (e.g. a merged journal fed back in) are
+// ignored rather than counted, keeping shard results honest.
+func (c *Campaign) ExecuteContext(ctx context.Context, p *PlannedCampaign, unit *WorkUnit) (res *Result, err error) {
+	defer func() {
+		if err != nil {
+			// Whatever already completed is worth keeping for a resume,
+			// and the observer stream must end with a close record.
+			c.Journal.Flush()
+			if c.Observer != nil {
+				c.Observer.Failed(PhaseInject, err)
+			}
+		}
+	}()
+	if p == nil || unit == nil {
+		return nil, fmt.Errorf("inject: Execute needs a planned campaign and a work unit")
+	}
+	if key := c.journalKey(); key != p.Key || key != unit.Key {
+		return nil, fmt.Errorf("inject: campaign %v does not match plan %v / unit %v", key, p.Key, unit.Key)
+	}
+	if len(p.Plans) != c.N {
+		return nil, fmt.Errorf("inject: plan holds %d injections, campaign wants %d", len(p.Plans), c.N)
+	}
+	c.registerMetrics()
+	c.reportShard(unit)
+	if c.Journal != nil && c.Journal.Writer == "" {
+		c.Journal.Writer = unit.Spec.String()
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > unit.Size() {
+		workers = unit.Size()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	c.phase(PhaseInject)
+	spInject := c.Obs.StartSpan("inject", "app", c.App.Name, "engine", c.Engine.String())
+	results := make([]injResult, c.N)
+	completed := make([]bool, c.N)
+	resumed, err := c.restore(c.Journal, unit, results, completed)
+	if err != nil {
+		return nil, err
+	}
+
+	estats := EngineStats{Engine: c.Engine.String()}
+	if c.Engine == EngineRerun {
+		err = c.runRerun(ctx, p, unit.Indices, workers, results, completed)
+	} else {
+		err = c.runFork(ctx, p, unit.Indices, workers, results, completed, &estats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	spInject.End()
+	if ferr := c.Journal.Flush(); ferr != nil {
+		return nil, ferr
+	}
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_engine_forks_total").Add(estats.Forks)
+		c.Obs.Counter("letgo_engine_pages_copied_total").Add(estats.PagesCopied)
+		c.Obs.Counter("letgo_engine_instructions_replayed_total").Add(estats.InstrsReplayed)
+		c.Obs.Counter("letgo_engine_instructions_saved_total").Add(estats.InstrsSaved)
+	}
+
+	res = c.aggregate(p, unit, results, completed, resumed, estats)
+	if c.Observer != nil {
+		c.Observer.Done(res)
+	}
+	return res, nil
+}
+
+// reportShard mirrors a non-trivial work unit into the obs plane:
+// letgo_shard_* gauges and the observer's optional Sharded extension
+// (which feeds the /status snapshot).
+func (c *Campaign) reportShard(unit *WorkUnit) {
+	if unit.Spec.IsZero() {
+		return
+	}
+	if c.Obs != nil {
+		c.Obs.Gauge("letgo_shard_index").Set(float64(unit.Spec.Index))
+		c.Obs.Gauge("letgo_shard_count").Set(float64(unit.Spec.Count))
+		c.Obs.Gauge("letgo_shard_planned_injections", "app", c.App.Name).Set(float64(unit.Size()))
+	}
+	if o, ok := c.Observer.(interface{ Sharded(index, count, planned int) }); ok {
+		o.Sharded(unit.Spec.Index, unit.Spec.Count, unit.Size())
+	}
+}
+
+// aggregate folds the unit's classified injections into a Result.
+func (c *Campaign) aggregate(p *PlannedCampaign, unit *WorkUnit, results []injResult, completed []bool, resumed int, estats EngineStats) *Result {
+	completedCount := 0
+	for _, ok := range completed {
+		if ok {
+			completedCount++
+		}
+	}
+	res := &Result{
+		App:           c.App.Name,
+		Mode:          c.Mode,
+		N:             c.N,
+		GoldenRetired: p.GoldenRetired,
+		Signals:       map[vm.Signal]int{},
+		EngineStats:   estats,
+		Shard:         unit.Spec.String(),
+		Planned:       unit.Size(),
+		Completed:     completedCount,
+		Resumed:       resumed,
+		Interrupted:   completedCount < unit.Size(),
+	}
+	if p.stateSet != nil {
+		res.DerivedBytes = p.stateSet.DerivedBytes
+		res.FullBytes = p.stateSet.FullBytes
+		res.AnalysisRegions = p.stateSet.RegionCount()
+		res.AnalysisLiveRegions = p.stateSet.Live.Count()
+	}
+	for i, r := range results {
+		if !completed[i] {
+			continue
+		}
+		res.Counts.Add(r.class)
+		if r.destLive {
+			res.LiveDest.Add(r.class)
+		} else {
+			res.DeadDest.Add(r.class)
+		}
+		if p.stateSet != nil {
+			if r.repairSafe {
+				res.SafeSite.Add(r.class)
+			} else {
+				res.UnsafeSite.Add(r.class)
+			}
+		}
+		if r.class.CrashBranch() && r.sig != vm.SIGNONE {
+			res.Signals[r.sig]++
+		}
+		if r.hasLatency {
+			res.CrashLatencies = append(res.CrashLatencies, r.latency)
+		}
+	}
+	res.Metrics = outcome.ComputeMetrics(&res.Counts)
+	if res.Counts.N > 0 {
+		res.PCrash = float64(res.Counts.CrashTotal()) / float64(res.Counts.N)
+	}
+	if c.Obs != nil && !p.start.IsZero() {
+		c.Obs.Gauge("letgo_campaign_duration_seconds", "app", c.App.Name).
+			Set(time.Since(p.start).Seconds())
+	}
+	return res
+}
+
+// restore fills results with the unit's journaled injections and returns
+// how many were restored. Journaled records outside the unit are ignored.
+func (c *Campaign) restore(j *resilience.Journal, unit *WorkUnit, results []injResult, completed []bool) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	done := j.Completed(c.journalKey())
+	// Observers that track live status learn about restored injections
+	// through the optional Restored extension (obsObserver implements it).
+	restoredObs, _ := c.Observer.(interface {
+		Restored(index int, class outcome.Class)
+	})
+	resumed := 0
+	for i, rec := range done {
+		if !unit.Has(i) {
+			continue
+		}
+		r, err := resultFromRecord(rec)
+		if err != nil {
+			return 0, fmt.Errorf("inject: journal %s index %d: %w", j.Path(), i, err)
+		}
+		results[i] = r
+		completed[i] = true
+		resumed++
+		if c.Obs != nil {
+			// Keep the engine-independent class tally aligned with the
+			// table a resumed campaign will render.
+			c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
+		}
+		if restoredObs != nil {
+			restoredObs.Restored(i, r.class)
+		}
+	}
+	if resumed > 0 && c.Obs != nil {
+		c.Obs.Counter("letgo_resume_skipped_total").Add(uint64(resumed))
+		c.Obs.Emit(obs.ResumeEvent{App: c.App.Name, Skipped: resumed, Total: c.N})
+	}
+	return resumed, nil
+}
+
+// runRerun executes the unit's injections on the rerun engine: each
+// worker takes a strided slice of the owned indices and every injection
+// re-executes the whole prefix from PC 0 inside executeHub.
+func (c *Campaign) runRerun(ctx context.Context, p *PlannedCampaign, idx []int, workers int, results []injResult, completed []bool) error {
+	errs := make([]error, workers)
+	// failed lets the first erroring worker stop the others early instead
+	// of letting them burn through their remaining injections.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "rerun").End()
+			for k := w; k < len(idx); k += workers {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := idx[k]
+				if completed[i] {
+					continue // restored from the journal
+				}
+				r, quar, stack, err := supervise(c.Watchdog, func() (injResult, error) {
+					if c.beforeInjection != nil {
+						c.beforeInjection(i)
+					}
+					return c.one(p, p.Plans[i])
+				})
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				if quar != "" {
+					r = c.quarantine(i, quar, stack)
+				}
+				results[i] = r
+				completed[i] = true
+				c.finish(i, w, r, quar, stack)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forkStep carries one fork-engine injection's outputs out of the
+// supervised body: the classified result, the (possibly re-forked)
+// replay machine handed back to the worker, and the engine-stat deltas
+// the step contributed.
+type forkStep struct {
+	r        injResult
+	cur      *vm.Machine
+	dbg      *debug.Debugger
+	forks    uint64
+	pages    uint64
+	replayed uint64
+	saved    uint64
+}
+
+// forkOne positions a replay machine at the injection's dynamic index
+// (re-forking from a waypoint when one leapfrogs the machine), runs the
+// injection on a COW fork of it, and classifies the outcome.
+func (c *Campaign) forkOne(p *PlannedCampaign, plan Plan, when uint64, cur *vm.Machine, curDbg *debug.Debugger) (forkStep, error) {
+	var out forkStep
+	gold := p.gold
+	// Re-fork only when a waypoint is strictly ahead of the replay
+	// machine; otherwise stepping forward is cheaper.
+	if cur == nil || gold.NearestRetired(when) > cur.Retired {
+		if cur != nil {
+			out.pages += cur.Mem.CopiedPages()
+		}
+		cur, _ = gold.ForkAt(when)
+		curDbg = debug.New(cur)
+		out.forks++
+	}
+	replayFrom := cur.Retired
+	if stop := curDbg.RunToDynamic(when); stop != nil {
+		return out, fmt.Errorf("inject: clean replay to dynamic %d stopped: %v", when, stop.Reason)
+	}
+	out.replayed += when - replayFrom
+	out.saved += replayFrom
+	runM := cur.Fork()
+	out.forks++
+	spExec := c.Obs.StartSpan("execute", "engine", "fork")
+	ro, err := executeAt(gold.Prog, p.an, plan, c.Mode, c.Opts, p.Budget, c.Obs, runM)
+	spExec.End()
+	if err != nil {
+		return out, err
+	}
+	r, pages, err := c.classify(p, &ro)
+	if err != nil {
+		return out, err
+	}
+	out.pages += pages
+	out.r = r
+	out.cur, out.dbg = cur, curDbg
+	return out, nil
+}
+
+// runFork executes the unit's injections on the fork-replay engine.
+//
+// The owned plan sites are first resolved to absolute retired-instruction
+// counts in one shared golden replay (ResolveWhens), then sorted by that
+// temporal position and split into contiguous chunks, one per worker.
+// Each worker keeps a single clean replay machine that only ever moves
+// forward: it advances to the next injection's position with RunToDynamic
+// and is re-forked from a waypoint only when a later waypoint leapfrogs
+// it. The injected run itself executes on a COW fork of the positioned
+// replay machine, so the clean prefix is never contaminated and is
+// executed at most once per worker per K-sized gap.
+func (c *Campaign) runFork(ctx context.Context, p *PlannedCampaign, idx []int, workers int, results []injResult, completed []bool, estats *EngineStats) error {
+	gold := p.gold
+	sites := make([]pin.Site, len(idx))
+	for k, i := range idx {
+		sites[k] = p.Plans[i].Site
+	}
+	whens, err := gold.ResolveWhens(sites)
+	if err != nil {
+		return err
+	}
+	// order holds positions into idx/whens, sorted by temporal position
+	// (ties by plan index — idx is ascending, so position order works).
+	order := make([]int, len(idx))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if whens[order[a]] != whens[order[b]] {
+			return whens[order[a]] < whens[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	var forks, pagesCopied, instrsReplayed, instrsSaved atomic.Uint64
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer c.Obs.StartSpan("worker_chunk", "worker", workerLabel(w), "engine", "fork").End()
+			chunk := order[w*len(order)/workers : (w+1)*len(order)/workers]
+			var cur *vm.Machine
+			var curDbg *debug.Debugger
+			for _, k := range chunk {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := idx[k]
+				if completed[i] {
+					continue // restored from the journal
+				}
+				// The supervised body gets the worker's replay machine by
+				// value and hands back a replacement only on success: a
+				// timed-out body's abandoned goroutine may still be using
+				// the machine, so quarantine discards it and the next
+				// injection re-forks from a frozen waypoint.
+				i, when, bodyCur, bodyDbg := i, whens[k], cur, curDbg
+				out, quar, stack, err := supervise(c.Watchdog, func() (forkStep, error) {
+					if c.beforeInjection != nil {
+						c.beforeInjection(i)
+					}
+					return c.forkOne(p, p.Plans[i], when, bodyCur, bodyDbg)
+				})
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				var r injResult
+				if quar != "" {
+					cur, curDbg = nil, nil
+					r = c.quarantine(i, quar, stack)
+				} else {
+					cur, curDbg = out.cur, out.dbg
+					forks.Add(out.forks)
+					pagesCopied.Add(out.pages)
+					instrsReplayed.Add(out.replayed)
+					instrsSaved.Add(out.saved)
+					r = out.r
+				}
+				results[i] = r
+				completed[i] = true
+				c.finish(i, w, r, quar, stack)
+			}
+			if cur != nil {
+				pagesCopied.Add(cur.Mem.CopiedPages())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	estats.Waypoints = gold.Waypoints()
+	estats.Forks = uint64(gold.Waypoints()) + forks.Load()
+	estats.PagesCopied = gold.PagesCopied() + pagesCopied.Load()
+	estats.InstrsReplayed = instrsReplayed.Load()
+	estats.InstrsSaved = instrsSaved.Load()
+	return nil
+}
+
+// quarantine converts a harness fault on injection i into its quarantine
+// outcome class and records it in the obs sinks.
+func (c *Campaign) quarantine(i int, reason, stack string) injResult {
+	class := outcome.CHang
+	if reason == quarPanic {
+		class = outcome.HarnessFault
+	}
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_quarantine_total", "reason", reason).Inc()
+		if reason == quarWatchdog {
+			c.Obs.Counter("letgo_watchdog_timeouts_total").Inc()
+		}
+		c.Obs.Emit(obs.QuarantineEvent{App: c.App.Name, Index: i, Reason: reason, Stack: stack})
+	}
+	return injResult{class: class}
+}
+
+// finish journals and reports one classified injection.
+func (c *Campaign) finish(i, w int, r injResult, quar, stack string) {
+	// Engine-independent per-class tally: both engines route every
+	// classified injection through here, so /metrics agrees with the
+	// rendered table.
+	if c.Obs != nil {
+		c.Obs.Counter("letgo_outcomes_total", "class", r.class.String()).Inc()
+	}
+	if c.Journal != nil {
+		// Append errors are not fatal mid-campaign: the record stays in
+		// memory and the terminal Flush (whose error does surface)
+		// retries the write.
+		c.Journal.Append(c.record(i, r, quar, stack))
+		if c.Obs != nil {
+			c.Obs.Counter("letgo_resume_journaled_total").Inc()
+		}
+	}
+	c.executed(i, w, r)
+}
+
+// record converts one classified injection into its journal form.
+func (c *Campaign) record(i int, r injResult, quar, stack string) resilience.Record {
+	sig := ""
+	if r.sig != vm.SIGNONE {
+		sig = r.sig.String()
+	}
+	return resilience.Record{
+		Key: c.journalKey(), Index: i, Class: r.class.String(), Signal: sig,
+		DestLive: r.destLive, RepairSafe: r.repairSafe,
+		Latency: r.latency, HasLatency: r.hasLatency,
+		Retired: r.retired, Quarantine: quar, Stack: stack,
+	}
+}
+
+// resultFromRecord inverts record.
+func resultFromRecord(rec resilience.Record) (injResult, error) {
+	class, err := outcome.ParseClass(rec.Class)
+	if err != nil {
+		return injResult{}, err
+	}
+	sig, err := parseSignal(rec.Signal)
+	if err != nil {
+		return injResult{}, err
+	}
+	return injResult{
+		class: class, sig: sig, destLive: rec.DestLive, repairSafe: rec.RepairSafe,
+		latency: rec.Latency, hasLatency: rec.HasLatency, retired: rec.Retired,
+	}, nil
+}
+
+// parseSignal inverts vm.Signal.String for journal records ("" means
+// SIGNONE, which the journal omits).
+func parseSignal(s string) (vm.Signal, error) {
+	for _, sig := range []vm.Signal{vm.SIGNONE, vm.SIGSEGV, vm.SIGBUS, vm.SIGABRT, vm.SIGFPE} {
+		if s == sig.String() {
+			return sig, nil
+		}
+	}
+	if s == "" {
+		return vm.SIGNONE, nil
+	}
+	return vm.SIGNONE, fmt.Errorf("inject: unknown signal %q", s)
+}
+
+// executed delivers one classified injection to the observer, if any.
+func (c *Campaign) executed(i, w int, r injResult) {
+	if c.Observer != nil {
+		c.Observer.Executed(Execution{
+			Index: i, Worker: w, Class: r.class, Signal: r.sig,
+			DestLive: r.destLive, RepairSafe: r.repairSafe,
+			Retired: r.retired, Latency: r.latency, HasLatency: r.hasLatency,
+		})
+	}
+}
+
+// injResult is the classified observation of one injection.
+type injResult struct {
+	class      outcome.Class
+	sig        vm.Signal
+	destLive   bool
+	repairSafe bool
+	latency    uint64
+	hasLatency bool
+	retired    uint64
+}
+
+// one executes and classifies a single injection on the rerun engine.
+func (c *Campaign) one(p *PlannedCampaign, plan Plan) (injResult, error) {
+	spExec := c.Obs.StartSpan("execute", "engine", "rerun")
+	ro, err := executeHub(p.prog, p.an, plan, c.Mode, c.Opts, p.Budget, c.Obs)
+	spExec.End()
+	if err != nil {
+		return injResult{}, err
+	}
+	r, _, err := c.classify(p, &ro)
+	return r, err
+}
+
+// classify applies the app-level acceptance check and golden comparison
+// to a raw run outcome. It returns the COW page-copy cost of the run's
+// machine and then drops the machine reference from ro, so a finished
+// run's page tables become collectable while the campaign is still
+// executing (campaigns hold every injResult until aggregation, and N
+// machines' worth of dirty pages is the difference between a flat and a
+// linearly growing footprint).
+func (c *Campaign) classify(p *PlannedCampaign, ro *RunOutcome) (injResult, uint64, error) {
+	defer c.Obs.StartSpan("classify").End()
+	rec := outcome.RunRecord{
+		Finished: ro.Finished,
+		Hang:     ro.Hang,
+		Repaired: ro.Repaired,
+	}
+	sig := ro.Signal
+	if ro.Repaired && sig == vm.SIGNONE {
+		sig = vm.SIGSEGV // at least one crash was elided; exact signal in events
+	}
+	if ro.Finished {
+		pass, err := c.App.Accept(ro.Machine)
+		if err != nil {
+			return injResult{}, 0, err
+		}
+		rec.CheckPassed = pass
+		if pass {
+			out, err := c.App.Output(ro.Machine)
+			if err != nil {
+				return injResult{}, 0, err
+			}
+			rec.MatchesGolden = c.App.MatchesGolden(out, p.goldenOut)
+		}
+	}
+	pages := ro.Machine.Mem.CopiedPages()
+	ro.Machine = nil
+	repairSafe := false
+	if p.stateSet != nil {
+		repairSafe, _ = p.stateSet.RepairSafeAt(ro.Plan.Site.Addr)
+	}
+	return injResult{
+		class:      outcome.Classify(rec),
+		sig:        sig,
+		destLive:   ro.DestLive,
+		repairSafe: repairSafe,
+		latency:    ro.CrashLatency,
+		hasLatency: ro.HasLatency,
+		retired:    ro.Retired,
+	}, pages, nil
+}

@@ -1,0 +1,115 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/resilience"
+)
+
+// PhaseMerge is the lifecycle phase of the pipeline's Merge stage, as
+// reported to an Observer (merge runs compile/golden first, then this).
+const PhaseMerge = "merge"
+
+// Merge is MergeContext without cancellation.
+func (c *Campaign) Merge(j *resilience.Journal) (*Result, error) {
+	return c.MergeContext(context.Background(), j)
+}
+
+// MergeContext is the pipeline's Merge stage: it reads a set of shard
+// journals (already combined latest-record-wins, e.g. by
+// resilience.MergeFiles) and renders the campaign's final Result without
+// executing a single injection. The plan-level facts a Result carries
+// beyond the journal — golden instruction count, memory-dependency
+// analysis sizes — are recomputed with a cheap plan-lite pass (compile,
+// analysis, one plain golden run; no profiling, no plan sampling, no
+// waypoints), which determinism guarantees agree with what every shard
+// derived.
+//
+// When the journals cover all N injections the merged Result — and the
+// table rendered from it — is byte-identical to a single-process run's.
+// Missing injections leave the Result partial (Interrupted set), exactly
+// like an interrupted campaign, so callers can render what exists and
+// re-run the missing shard. Writer-identity collisions are the caller's
+// concern: detect them at combine time with resilience.MergeFiles.
+func (c *Campaign) MergeContext(ctx context.Context, j *resilience.Journal) (res *Result, err error) {
+	curPhase := ""
+	defer func() {
+		if err != nil && c.Observer != nil {
+			c.Observer.Failed(curPhase, err)
+		}
+	}()
+	setPhase := func(name string) {
+		curPhase = name
+		c.phase(name)
+	}
+	if c.App == nil || c.N <= 0 {
+		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
+	}
+	if j == nil {
+		return nil, fmt.Errorf("inject: merge needs a journal")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.registerMetrics()
+	p := &PlannedCampaign{Key: c.journalKey(), Engine: c.Engine, start: time.Now()}
+
+	setPhase(PhaseCompile)
+	spCompile := c.Obs.StartSpan("compile", "app", c.App.Name)
+	prog, err := c.App.Compile()
+	if err != nil {
+		return nil, err
+	}
+	p.prog = prog
+	p.an = pin.Analyze(prog)
+	spCompile.End()
+	if err := c.analyze(p); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	setPhase(PhaseGolden)
+	spGolden := c.Obs.StartSpan("golden", "app", c.App.Name, "engine", "merge")
+	gm, err := c.App.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := gm.Run(profileBudget); err != nil {
+		return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+	}
+	if err := c.checkGolden(p, gm); err != nil {
+		return nil, err
+	}
+	spGolden.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	setPhase(PhaseMerge)
+	spMerge := c.Obs.StartSpan("merge", "app", c.App.Name)
+	// The whole-campaign unit without plans: merge consumes journal
+	// records only, so the unit is just the index universe [0, N).
+	unit := &WorkUnit{Key: p.Key, Indices: make([]int, c.N), member: make([]bool, c.N)}
+	for i := range unit.Indices {
+		unit.Indices[i] = i
+		unit.member[i] = true
+	}
+	results := make([]injResult, c.N)
+	completed := make([]bool, c.N)
+	restored, err := c.restore(j, unit, results, completed)
+	if err != nil {
+		return nil, err
+	}
+	spMerge.End()
+
+	res = c.aggregate(p, unit, results, completed, restored, EngineStats{Engine: "merge"})
+	if c.Observer != nil {
+		c.Observer.Done(res)
+	}
+	return res, nil
+}

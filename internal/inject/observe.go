@@ -81,6 +81,13 @@ func (o *obsObserver) Analyzed(regions, liveRegions int, derivedBytes, fullBytes
 	o.status.SetAnalysis(regions, liveRegions, derivedBytes, fullBytes)
 }
 
+// Sharded mirrors the executing work unit's identity into the status
+// tracker (the campaign calls it through the optional Sharded extension
+// when running as one shard of a partitioned campaign).
+func (o *obsObserver) Sharded(index, count, planned int) {
+	o.status.SetShard(index, count, planned)
+}
+
 // Restored mirrors a journal-restored injection into the status tracker
 // (the campaign calls it through the optional Restored extension). No
 // events, metrics or progress fire for restored work beyond the campaign-

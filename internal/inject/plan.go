@@ -1,0 +1,230 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/analysis"
+	"github.com/letgo-hpc/letgo/internal/engine"
+	"github.com/letgo-hpc/letgo/internal/isa"
+	"github.com/letgo-hpc/letgo/internal/pin"
+	"github.com/letgo-hpc/letgo/internal/resilience"
+	"github.com/letgo-hpc/letgo/internal/stats"
+	"github.com/letgo-hpc/letgo/internal/vm"
+)
+
+// PlannedCampaign is the output of the pipeline's Plan stage: everything
+// the campaign derives before the first injection executes — the compiled
+// program, the memory-dependency analysis, the golden run (with the fork
+// engine's waypoint ladder when applicable), the dynamic profile, the
+// hang budget, and the full pre-sampled injection plan list.
+//
+// The stage is deterministic: for a fixed (App, Mode, N, Seed, Model,
+// Engine, WaypointEvery) every process computes the same PlannedCampaign,
+// which is what lets independent shard processes each plan locally and
+// still partition one coherent campaign (see Shard). Manifest exposes the
+// serializable essence of the plan for provenance checks across
+// processes.
+type PlannedCampaign struct {
+	// Key identifies the campaign in resume journals and shard merges.
+	Key resilience.Key
+	// Engine is the substrate the plan was prepared for (the fork engine
+	// carries a recorded golden run; rerun carries a plain one).
+	Engine Engine
+	// Plans are the N pre-sampled injections, in plan-index order.
+	Plans []Plan
+	// Budget is the per-injection retired-instruction hang budget.
+	Budget uint64
+	// GoldenRetired is the golden run's dynamic instruction count.
+	GoldenRetired uint64
+
+	start     time.Time
+	prog      *isa.Program
+	an        *pin.Analysis
+	prof      *pin.Profile
+	gold      *engine.Golden // non-nil only for the fork engine
+	goldenOut []float64
+	stateSet  *analysis.StateSet
+}
+
+// PlanManifest is the serializable view of a PlannedCampaign: the
+// campaign key plus every derived fact a foreign process needs to verify
+// it is executing (or merging) the same campaign. Two processes planning
+// the same campaign produce identical manifests.
+type PlanManifest struct {
+	Key           resilience.Key `json:"key"`
+	Budget        uint64         `json:"budget"`
+	GoldenRetired uint64         `json:"golden_retired"`
+	Plans         []PlanRecord   `json:"plans"`
+}
+
+// PlanRecord is one injection plan in manifest form.
+type PlanRecord struct {
+	Addr     uint64 `json:"addr"`
+	Instance uint64 `json:"instance"`
+	Mask     uint64 `json:"mask"`
+}
+
+// Manifest returns the plan's serializable form.
+func (p *PlannedCampaign) Manifest() PlanManifest {
+	m := PlanManifest{
+		Key: p.Key, Budget: p.Budget, GoldenRetired: p.GoldenRetired,
+		Plans: make([]PlanRecord, len(p.Plans)),
+	}
+	for i, pl := range p.Plans {
+		m.Plans[i] = PlanRecord{Addr: pl.Site.Addr, Instance: pl.Site.Instance, Mask: pl.Mask}
+	}
+	return m
+}
+
+// PlanContext runs the pipeline's Plan stage in isolation: compile,
+// memory-dependency analysis, golden run, profile, and plan sampling,
+// with no injection executed. Run composes it with Shard and Execute;
+// callers that split a campaign across processes call it directly.
+func (c *Campaign) PlanContext(ctx context.Context) (p *PlannedCampaign, err error) {
+	curPhase := ""
+	defer func() {
+		if err != nil && c.Observer != nil {
+			c.Observer.Failed(curPhase, err)
+		}
+	}()
+	return c.plan(ctx, func(name string) {
+		curPhase = name
+		c.phase(name)
+	})
+}
+
+// plan is the Plan stage body, shared by PlanContext and the Run facade
+// (which owns its own failure reporting).
+func (c *Campaign) plan(ctx context.Context, setPhase func(string)) (*PlannedCampaign, error) {
+	if c.App == nil || c.N <= 0 {
+		return nil, fmt.Errorf("inject: campaign needs an app and a positive N")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.registerMetrics()
+	p := &PlannedCampaign{Key: c.journalKey(), Engine: c.Engine, start: time.Now()}
+
+	setPhase(PhaseCompile)
+	spCompile := c.Obs.StartSpan("compile", "app", c.App.Name)
+	prog, err := c.App.Compile()
+	if err != nil {
+		return nil, err
+	}
+	p.prog = prog
+	p.an = pin.Analyze(prog)
+	spCompile.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Memory-dependency analysis: derive the app's minimal checkpoint set
+	// and repair-safety facts once, ahead of the workers. Apps without
+	// declared acceptance globals (ad-hoc programs) skip it.
+	if err := c.analyze(p); err != nil {
+		return nil, err
+	}
+
+	// Golden run: acceptance data and output to compare against. The fork
+	// engine records it once with waypoint snapshots; the rerun engine
+	// executes it plainly (and will pay a second execution for profiling).
+	setPhase(PhaseGolden)
+	spGolden := c.Obs.StartSpan("golden", "app", c.App.Name, "engine", c.Engine.String())
+	var gm *vm.Machine
+	if c.Engine == EngineRerun {
+		if gm, err = c.App.NewMachine(); err != nil {
+			return nil, err
+		}
+		if err := gm.Run(profileBudget); err != nil {
+			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+		}
+	} else {
+		if p.gold, err = engine.RecordObs(prog, vm.Config{}, c.WaypointEvery, profileBudget, c.Obs); err != nil {
+			return nil, fmt.Errorf("inject: golden run of %s: %w", c.App.Name, err)
+		}
+		gm = p.gold.Final
+	}
+	if err := c.checkGolden(p, gm); err != nil {
+		return nil, err
+	}
+	spGolden.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Profiling phase (Section 5.4). The fork engine observed the profile
+	// while recording; the rerun engine runs the program again to count.
+	setPhase(PhaseProfile)
+	spProfile := c.Obs.StartSpan("profile", "app", c.App.Name, "engine", c.Engine.String())
+	if c.Engine == EngineRerun {
+		if p.prof, err = p.an.ProfileRun(vm.Config{}, profileBudget); err != nil {
+			return nil, err
+		}
+	} else {
+		p.prof = p.gold.Profile()
+	}
+	spProfile.End()
+
+	// Pre-sample all plans from the root RNG so results do not depend on
+	// worker scheduling — or, since the sampling is a pure function of
+	// the seed, on which process executes which plan.
+	setPhase(PhasePlan)
+	spPlan := c.Obs.StartSpan("plan", "app", c.App.Name)
+	rng := stats.NewRNG(c.Seed)
+	p.Plans = make([]Plan, c.N)
+	for i := range p.Plans {
+		if p.Plans[i], err = SamplePlanModel(prog, p.prof, rng, c.Model); err != nil {
+			return nil, err
+		}
+		if c.Observer != nil {
+			c.Observer.Planned(i, p.Plans[i])
+		}
+	}
+	spPlan.End()
+	return p, nil
+}
+
+// profileBudget bounds the golden and profiling executions.
+const profileBudget = 1 << 32
+
+// analyze runs the memory-dependency analysis for apps that declare
+// acceptance globals and records the derived facts on p.
+func (c *Campaign) analyze(p *PlannedCampaign) error {
+	outputs := c.App.AcceptanceGlobals()
+	if len(outputs) == 0 {
+		return nil
+	}
+	spAnalysis := c.Obs.StartSpan("analysis", "app", c.App.Name)
+	ss, err := p.an.CheckpointSet(outputs)
+	spAnalysis.End()
+	if err != nil {
+		return fmt.Errorf("inject: analysis of %s: %w", c.App.Name, err)
+	}
+	p.stateSet = ss
+	c.reportAnalysis(p.an, ss)
+	return nil
+}
+
+// checkGolden validates the golden machine's acceptance, captures the
+// golden output, and derives the hang budget.
+func (c *Campaign) checkGolden(p *PlannedCampaign, gm *vm.Machine) error {
+	factor := c.BudgetFactor
+	if factor == 0 {
+		factor = 3
+	}
+	goldenOK, err := c.App.Accept(gm)
+	if err != nil {
+		return err
+	}
+	if !goldenOK {
+		return fmt.Errorf("inject: golden run of %s fails its acceptance check", c.App.Name)
+	}
+	if p.goldenOut, err = c.App.Output(gm); err != nil {
+		return err
+	}
+	p.GoldenRetired = gm.Retired
+	p.Budget = uint64(float64(gm.Retired)*factor) + 100_000
+	return nil
+}

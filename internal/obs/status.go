@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -35,6 +36,12 @@ type StatusSnapshot struct {
 	// CkptModel names the checkpoint cost model in effect (paper or
 	// derived) for simulator runs; empty elsewhere.
 	CkptModel string `json:"ckpt_model,omitempty"`
+	// Shard identifies the work unit this process executes ("2/3") when
+	// the campaign runs as one shard of a partitioned fabric, and
+	// ShardPlanned counts the injections that unit owns. Absent for
+	// whole-campaign runs.
+	Shard        string `json:"shard,omitempty"`
+	ShardPlanned int    `json:"shard_planned,omitempty"`
 	// Analysis facts from the memory-dependency pass, when it ran: the
 	// region partition size, the live (minimal checkpoint) region count,
 	// and the derived-vs-full checkpoint byte sizes.
@@ -59,6 +66,9 @@ type CampaignStatus struct {
 	campaignsDone int
 	interrupted   bool
 	ckptModel     string
+	shardIndex    int
+	shardCount    int
+	shardPlanned  int
 	anRegions     int
 	anLiveRegions int
 	derivedBytes  uint64
@@ -94,6 +104,7 @@ func (s *CampaignStatus) Begin(app, mode string, n int) {
 	s.completed, s.resumed, s.quarantined = 0, 0, 0
 	s.outcomes = make(map[string]int)
 	s.interrupted = false
+	s.shardIndex, s.shardCount, s.shardPlanned = 0, 0, 0
 	s.anRegions, s.anLiveRegions = 0, 0
 	s.derivedBytes, s.fullBytes = 0, 0
 	s.start = s.now()
@@ -106,6 +117,17 @@ func (s *CampaignStatus) SetCkptModel(model string) {
 	}
 	s.mu.Lock()
 	s.ckptModel = model
+	s.mu.Unlock()
+}
+
+// SetShard records the work unit this process executes: shard index of
+// count, owning planned injections.
+func (s *CampaignStatus) SetShard(index, count, planned int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.shardIndex, s.shardCount, s.shardPlanned = index, count, planned
 	s.mu.Unlock()
 }
 
@@ -204,6 +226,10 @@ func (s *CampaignStatus) Snapshot() StatusSnapshot {
 		CkptModel:       s.ckptModel,
 		AnalysisRegions: s.anRegions, AnalysisLiveRegions: s.anLiveRegions,
 		DerivedCheckpointBytes: s.derivedBytes, FullStateBytes: s.fullBytes,
+	}
+	if s.shardCount > 0 {
+		snap.Shard = fmt.Sprintf("%d/%d", s.shardIndex, s.shardCount)
+		snap.ShardPlanned = s.shardPlanned
 	}
 	if len(s.outcomes) > 0 {
 		snap.Outcomes = make(map[string]int, len(s.outcomes))

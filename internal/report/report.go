@@ -83,6 +83,14 @@ type CampaignRow struct {
 	FullStateBytes         uint64 `json:"full_state_bytes,omitempty"`
 	AnalysisRegions        int    `json:"analysis_regions,omitempty"`
 	AnalysisLiveRegions    int    `json:"analysis_live_regions,omitempty"`
+	// Shard provenance (JSON only; the text/markdown/CSV cells are
+	// deliberately unchanged so a merged table stays byte-identical to a
+	// single-process one). Shard names the work unit a partial shard row
+	// covers; MergedJournals/MergedWriters are stamped by AnnotateMerge
+	// on rows produced by merging shard journals.
+	Shard          string   `json:"shard,omitempty"`
+	MergedJournals int      `json:"merged_journals,omitempty"`
+	MergedWriters  []string `json:"merged_writers,omitempty"`
 }
 
 // Row flattens a campaign result.
@@ -120,6 +128,20 @@ func Row(r *inject.Result) CampaignRow {
 		FullStateBytes:         r.FullBytes,
 		AnalysisRegions:        r.AnalysisRegions,
 		AnalysisLiveRegions:    r.AnalysisLiveRegions,
+
+		Shard: r.Shard,
+	}
+}
+
+// AnnotateMerge stamps merge provenance onto campaign rows rendered from
+// merged shard journals: how many journal files fed the merge and the
+// distinct writer identities among their records. Only the JSON
+// rendering carries the annotation — the table cells stay byte-identical
+// to a single-process run's, which is the merge contract.
+func AnnotateMerge(rows []CampaignRow, journals int, writers []string) {
+	for i := range rows {
+		rows[i].MergedJournals = journals
+		rows[i].MergedWriters = writers
 	}
 }
 

@@ -3,6 +3,7 @@ package report
 import (
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestCampaignsJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 1 || back[0] != rows[0] {
+	if len(back) != 1 || !reflect.DeepEqual(back[0], rows[0]) {
 		t.Errorf("round trip mismatch: %+v", back)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"github.com/letgo-hpc/letgo/internal/atomicio"
@@ -53,6 +54,13 @@ func (k Key) String() string {
 // result without re-executing it.
 type Record struct {
 	Key
+	// Writer identifies who produced the record — a shard identity like
+	// "2/3" for sharded campaigns, "" for single-process runs. It is
+	// provenance only: aggregation ignores it, but cross-journal merges
+	// use it to tell a legitimate resume (same writer, latest wins) from
+	// two shards claiming the same injection index (a collision that must
+	// be reported, see MergeFiles).
+	Writer     string `json:"writer,omitempty"`
 	Index      int    `json:"index"`
 	Class      string `json:"class"`
 	Signal     string `json:"signal,omitempty"`
@@ -83,6 +91,11 @@ type Journal struct {
 	// FlushEvery overrides the persistence chunk size (default
 	// DefaultFlushEvery). Set it before the first Append.
 	FlushEvery int
+
+	// Writer, when non-empty, stamps every appended record that does not
+	// already carry a writer identity. Sharded campaigns set it to their
+	// shard spec ("2/3") so merges can attribute each record.
+	Writer string
 }
 
 // Create opens a fresh journal at path, ignoring any existing content
@@ -157,6 +170,9 @@ func (j *Journal) Append(r Record) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if r.Writer == "" {
+		r.Writer = j.Writer
+	}
 	j.add(r)
 	every := j.FlushEvery
 	if every <= 0 {
@@ -184,6 +200,40 @@ func (j *Journal) Completed(k Key) map[int]Record {
 	return out
 }
 
+// Records returns a snapshot of the journal's records in log order (after
+// latest-record-wins dedup by key and index). Mutating the returned slice
+// does not affect the journal.
+func (j *Journal) Records() []Record {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.recs))
+	copy(out, j.recs)
+	return out
+}
+
+// Writers returns the distinct writer identities present in the journal,
+// sorted ("" — the single-process identity — is included when present).
+func (j *Journal) Writers() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seen := map[string]bool{}
+	for _, r := range j.recs {
+		seen[r.Writer] = true
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Len returns the total number of journaled records across all keys.
 func (j *Journal) Len() int {
 	if j == nil {
@@ -204,6 +254,8 @@ func (j *Journal) Path() string {
 
 // Flush persists the full journal with an atomic write-temp-rename. It
 // is safe to call at any point, including after errors and interrupts.
+// A pathless journal (the in-memory result of MergeFiles) flushes as a
+// no-op: it is a read-side artifact with nowhere to persist.
 func (j *Journal) Flush() error {
 	if j == nil {
 		return nil
@@ -214,6 +266,9 @@ func (j *Journal) Flush() error {
 }
 
 func (j *Journal) flushLocked() error {
+	if j.path == "" {
+		return nil
+	}
 	err := atomicio.WriteFile(j.path, func(w io.Writer) error {
 		bw := bufio.NewWriter(w)
 		enc := json.NewEncoder(bw)
