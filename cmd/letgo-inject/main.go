@@ -19,6 +19,14 @@
 //	letgo-inject -shard 1/3 -journal s1.jsonl -n 2000 ...  # per shard
 //	letgo-inject -merge 's*.jsonl' -n 2000 ...             # final table
 //
+// Or coordinated dynamically over HTTP (no shared filesystem): the
+// coordinator leases work units to remote workers, re-dispatches units
+// whose leases expire (crashed or stalled workers), and renders the
+// final table from the records they ship back:
+//
+//	letgo-inject -coordinate :0 -journal c.jsonl -n 2000 ...   # coordinator
+//	letgo-inject -worker http://host:port                      # each worker
+//
 // Exit codes: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
 // results were printed and the journal, if any, supports -resume; a
 // merge over incomplete shard journals also exits 3).
@@ -29,6 +37,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	"github.com/letgo-hpc/letgo/internal/apps"
+	"github.com/letgo-hpc/letgo/internal/fabric"
 	"github.com/letgo-hpc/letgo/internal/inject"
 	"github.com/letgo-hpc/letgo/internal/obs"
 	"github.com/letgo-hpc/letgo/internal/obs/serve"
@@ -84,6 +95,11 @@ var merged *resilience.Journal
 var mergedJournals int
 var mergedWriters []string
 
+// coordinator is the -coordinate fabric coordinator (nil outside
+// coordinate mode), with its HTTP server kept for shutdown.
+var coordinator *fabric.Coordinator
+var coordSrv *http.Server
+
 // plane is the -serve observability server; nil without the flag. Closed
 // explicitly on every exit path (main leaves through os.Exit, so defers
 // would not run) to end SSE streams cleanly.
@@ -115,6 +131,11 @@ func main() {
 	mergeFlag := flag.String("merge", "", "merge the shard journals matching this glob and render the final tables without executing injections")
 	watchdog := flag.Duration("watchdog", 0, "per-injection wall-clock bound; expired injections are quarantined as C-Hang (0 = off)")
 	deadline := flag.Duration("deadline", 0, "whole-invocation wall-clock bound; on expiry campaigns drain and partial results print (0 = off)")
+	coordinateFlag := flag.String("coordinate", "", "serve the fabric work queue on this address and coordinate remote -worker processes (requires -journal)")
+	workerFlag := flag.String("worker", "", "run as a fabric worker against this coordinator URL; campaigns come from the coordinator")
+	workerName := flag.String("worker-name", "", "fabric worker identity stamped on shipped records (default host-pid)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fabric lease TTL before an unrenewed work unit is re-dispatched (0 = 10s)")
+	unitSize := flag.Int("unit-size", 0, "fabric work-unit size in injections (0 = derived from n)")
 	flag.Parse()
 
 	format, err := report.ParseFormat(*formatFlag)
@@ -144,6 +165,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "letgo-inject: observability plane on http://%s (metrics, events, status, healthz, debug/pprof)\n", plane.Addr())
 	}
 
+	switch {
+	case *coordinateFlag != "" && *workerFlag != "":
+		fatal(fmt.Errorf("-coordinate and -worker are mutually exclusive (one process is one side of the fabric)"))
+	case (*coordinateFlag != "" || *workerFlag != "") && (*shardFlag != "" || *mergeFlag != ""):
+		fatal(fmt.Errorf("-coordinate/-worker replace static -shard/-merge partitioning; the flags are mutually exclusive"))
+	case *coordinateFlag != "" && *journalPath == "":
+		fatal(fmt.Errorf("-coordinate requires -journal (the journal is the coordinator's crash-safe state)"))
+	case *workerFlag != "" && (*journalPath != "" || *resume):
+		fatal(fmt.Errorf("-worker ships records to the coordinator; it takes no -journal or -resume"))
+	}
+
 	if *shardFlag != "" {
 		if shardSel, err = inject.ParseShardSpec(*shardFlag); err != nil {
 			fatal(err)
@@ -163,19 +195,16 @@ func main() {
 		if merged, collisions, err = resilience.MergeGlob(*mergeFlag); err != nil {
 			fatal(err)
 		}
-		conflicting := 0
+		paths, _ := filepath.Glob(*mergeFlag)
+		mergedJournals = len(paths)
+		mergedWriters = merged.Writers()
+		conflicting := reportMerge(mergedJournals, collisions)
 		for _, col := range collisions {
 			fmt.Fprintf(os.Stderr, "letgo-inject: shard collision: %s\n", col)
-			if !col.Identical {
-				conflicting++
-			}
 		}
 		if conflicting > 0 {
 			fatal(fmt.Errorf("%d conflicting shard record(s); refusing to merge (shards disagree about the same injection)", conflicting))
 		}
-		paths, _ := filepath.Glob(*mergeFlag)
-		mergedJournals = len(paths)
-		mergedWriters = merged.Writers()
 	}
 	if *resume && *journalPath == "" {
 		fatal(fmt.Errorf("-resume requires -journal"))
@@ -201,6 +230,25 @@ func main() {
 	}
 	runCtx = ctx
 
+	if *workerFlag != "" {
+		runWorker(*workerFlag, *workerName, *workers)
+	}
+	if *coordinateFlag != "" {
+		coordinator = fabric.NewCoordinator(journal, fabric.Options{
+			LeaseTTL: *leaseTTL, UnitSize: *unitSize, Hub: telem.Hub,
+		})
+		ln, err := net.Listen("tcp", *coordinateFlag)
+		if err != nil {
+			fatal(err)
+		}
+		coordSrv = &http.Server{Handler: coordinator.Handler()}
+		go coordSrv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+		fmt.Fprintf(os.Stderr, "letgo-inject: fabric coordinator on http://%s\n", ln.Addr())
+		// The serve plane mirrors the coordinator's snapshot so one
+		// scrape target covers campaign and fabric state.
+		plane.Handle("/fabric/status", coordinator.StatusHandler())
+	}
+
 	switch {
 	case *compare:
 		runCompare(sel, *n, *seed, *workers)
@@ -225,6 +273,7 @@ func main() {
 	default:
 		runTable(sel, modeFromFlag(*mode), *n, *seed, *workers)
 	}
+	shutdownFabric()
 	if err := telem.Close(); err != nil {
 		fatal(err)
 	}
@@ -349,6 +398,9 @@ func mustRun(c *inject.Campaign) *inject.Result {
 		c.Obs = telem.Hub
 		c.Observer = inject.NewObsObserver(c.App.Name, c.Mode, c.N, telem.Hub, telem.Progress, telem.Status)
 	}
+	if coordinator != nil {
+		return mustCoordinate(c)
+	}
 	var r *inject.Result
 	var err error
 	if merged != nil {
@@ -375,7 +427,123 @@ func mustRun(c *inject.Campaign) *inject.Result {
 	return r
 }
 
+// mustCoordinate runs one campaign in coordinate mode: plan locally,
+// publish the plan to the fabric work queue, and — once every unit's
+// records have shipped back (or the invocation was interrupted) — render
+// the result from the journal through the same Merge stage a -merge
+// invocation uses, so the table is byte-identical to a single-process
+// run's.
+func mustCoordinate(c *inject.Campaign) *inject.Result {
+	p, err := c.PlanContext(runCtx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		progressTally.total += c.N
+		progressTally.interrupted = true
+		return nil
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cerr := coordinator.Coordinate(runCtx, p.Manifest())
+	if cerr != nil && !errors.Is(cerr, context.Canceled) && !errors.Is(cerr, context.DeadlineExceeded) {
+		fatal(cerr)
+	}
+	// Render with a background context: after SIGINT the partial table
+	// from whatever shipped is exactly what exit code 3 promises.
+	r, err := c.MergeContext(context.Background(), journal)
+	if err != nil {
+		fatal(err)
+	}
+	progressTally.completed += r.Completed
+	progressTally.total += r.Planned
+	if r.Interrupted || cerr != nil {
+		progressTally.interrupted = true
+	}
+	return r
+}
+
+// runWorker is the whole -worker mode: serve the coordinator's queue
+// until it says done, then exit with the usual code contract. Campaign
+// configuration comes from the coordinator; only execution knobs
+// (engine, workers, watchdog) are local.
+func runWorker(base, name string, workers int) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &fabric.Worker{
+		Base: base, Name: name, Engine: engineSel, Workers: workers,
+		Watchdog: watchdogSel, Hub: telem.Hub,
+	}
+	fmt.Fprintf(os.Stderr, "letgo-inject: fabric worker %q serving %s\n", name, base)
+	err := w.Run(runCtx)
+	telem.Close() //nolint:errcheck // exiting either way
+	plane.Close()
+	switch {
+	case err == nil:
+		os.Exit(exitOK)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "letgo-inject: worker interrupted")
+		os.Exit(exitInterrupted)
+	default:
+		fmt.Fprintln(os.Stderr, "letgo-inject:", err)
+		os.Exit(exitErr)
+	}
+}
+
+// reportMerge mirrors a merge's shape into the obs plane — the journal
+// count and the identical/conflicting collision split, as letgo_merge_*
+// counters and /status fields — and returns the conflicting count for
+// the abort decision.
+func reportMerge(journals int, collisions []resilience.Collision) int {
+	identical, conflicting := 0, 0
+	for _, col := range collisions {
+		if col.Identical {
+			identical++
+		} else {
+			conflicting++
+		}
+	}
+	if telem.Hub != nil {
+		if reg := telem.Hub.Reg; reg != nil {
+			reg.Help("letgo_merge_journals_total", "Shard journal files combined by -merge.")
+			reg.Counter("letgo_merge_journals_total")
+			reg.Help("letgo_merge_collisions_total", "Writer-identity collisions across merged shard journals, by kind.")
+			reg.Counter("letgo_merge_collisions_total", "kind", "identical")
+			reg.Counter("letgo_merge_collisions_total", "kind", "conflicting")
+		}
+		telem.Hub.Counter("letgo_merge_journals_total").Add(uint64(journals))
+		telem.Hub.Counter("letgo_merge_collisions_total", "kind", "identical").Add(uint64(identical))
+		telem.Hub.Counter("letgo_merge_collisions_total", "kind", "conflicting").Add(uint64(conflicting))
+	}
+	telem.Status.SetMerge(journals, identical, conflicting)
+	return conflicting
+}
+
+// shutdownFabric ends a coordinate-mode invocation cleanly: tell the
+// fleet the invocation is done, give recently seen workers a moment to
+// hear it, then stop the protocol server.
+func shutdownFabric() {
+	if coordinator == nil {
+		return
+	}
+	coordinator.Finish()
+	coordinator.AwaitDrain(3 * time.Second)
+	if coordSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		coordSrv.Shutdown(ctx) //nolint:errcheck // exiting either way
+	}
+}
+
 func fatal(err error) {
+	shutdownFabric()
 	plane.Close()
 	fmt.Fprintln(os.Stderr, "letgo-inject:", err)
 	os.Exit(exitErr)

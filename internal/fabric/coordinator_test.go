@@ -1,0 +1,482 @@
+package fabric
+
+// Unit tests for the coordinator's lease protocol: grant, renew, expire,
+// steal, duplicate-tolerant completion, conflict abort, partial-shipment
+// release, journal resume, and the HTTP layer's rejection of malformed
+// requests. Time is injected so expiry is deterministic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/inject"
+	"github.com/letgo-hpc/letgo/internal/resilience"
+)
+
+// fakeClock is a manually advanced time source safe for concurrent use.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// testKey is the campaign key every coordinator test uses.
+var testKey = resilience.Key{App: "X", Mode: "letgo-e", N: 6, Seed: 1, Model: "bitflip"}
+
+// testManifest builds a 6-plan manifest for testKey.
+func testManifest() inject.PlanManifest {
+	m := inject.PlanManifest{Key: testKey, Budget: 1000, GoldenRetired: 100}
+	for i := 0; i < testKey.N; i++ {
+		m.Plans = append(m.Plans, inject.PlanRecord{Addr: uint64(i), Instance: 1, Mask: 1})
+	}
+	return m
+}
+
+// record fabricates a journal record for one index.
+func record(index int, class, writer string) resilience.Record {
+	return resilience.Record{Key: testKey, Index: index, Class: class, Writer: writer}
+}
+
+// harness spins up a coordinator over an in-memory journal with a fake
+// clock and a 1s TTL, publishes the test manifest (unit size 2 → units
+// {0,1}, {2,3}, {4,5}), and serves the protocol over httptest.
+type harness struct {
+	t        *testing.T
+	c        *Coordinator
+	j        *resilience.Journal
+	clock    *fakeClock
+	srv      *httptest.Server
+	coordErr chan error
+	cancel   context.CancelFunc
+}
+
+func newHarness(t *testing.T, j *resilience.Journal) *harness {
+	t.Helper()
+	if j == nil {
+		j = resilience.New()
+	}
+	h := &harness{t: t, j: j, clock: newFakeClock(), coordErr: make(chan error, 1)}
+	h.c = NewCoordinator(j, Options{LeaseTTL: time.Second, UnitSize: 2})
+	h.c.now = h.clock.Now
+	h.srv = httptest.NewServer(h.c.Handler())
+	t.Cleanup(h.srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	t.Cleanup(cancel)
+	go func() { h.coordErr <- h.c.Coordinate(ctx, testManifest()) }()
+	// Coordinate publishes asynchronously; wait until the campaign is up
+	// (or already finished, for fully resumed journals).
+	for i := 0; ; i++ {
+		var camp CampaignResponse
+		h.get("/fabric/campaign?worker=probe", &camp)
+		if camp.Spec != nil {
+			return h
+		}
+		select {
+		case err := <-h.coordErr:
+			h.coordErr <- err
+			return h
+		default:
+		}
+		if i > 100 {
+			t.Fatal("campaign never published")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (h *harness) get(path string, out any) {
+	h.t.Helper()
+	resp, err := http.Get(h.srv.URL + path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// post sends a JSON body and decodes the answer, returning the HTTP
+// status code (out is only decoded on 200).
+func (h *harness) post(path string, in, out any) int {
+	h.t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.Post(h.srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *harness) lease(worker string) LeaseResponse {
+	h.t.Helper()
+	var lr LeaseResponse
+	if code := h.post("/fabric/lease", LeaseRequest{Worker: worker, Generation: 1}, &lr); code != 200 {
+		h.t.Fatalf("lease: status %d", code)
+	}
+	return lr
+}
+
+func (h *harness) complete(worker string, unit int, recs []resilience.Record) CompleteResponse {
+	h.t.Helper()
+	var cr CompleteResponse
+	code := h.post("/fabric/complete",
+		CompleteRequest{Worker: worker, Generation: 1, Unit: unit, Records: recs}, &cr)
+	if code != 200 {
+		h.t.Fatalf("complete: status %d", code)
+	}
+	return cr
+}
+
+// completeUnit ships every index of a leased unit as Benign.
+func (h *harness) completeUnit(worker string, u *LeaseUnit) CompleteResponse {
+	recs := make([]resilience.Record, 0, len(u.Indices))
+	for _, i := range u.Indices {
+		recs = append(recs, record(i, "Benign", worker))
+	}
+	return h.complete(worker, u.ID, recs)
+}
+
+func TestCoordinatorLeaseLifecycle(t *testing.T) {
+	h := newHarness(t, nil)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		lr := h.lease("w1")
+		if lr.Unit == nil {
+			t.Fatalf("lease %d: no unit granted: %+v", i, lr)
+		}
+		if seen[lr.Unit.ID] {
+			t.Fatalf("unit %d leased twice without expiry", lr.Unit.ID)
+		}
+		seen[lr.Unit.ID] = true
+		var hb HeartbeatResponse
+		h.post("/fabric/heartbeat", HeartbeatRequest{Worker: "w1", Generation: 1, Unit: lr.Unit.ID}, &hb)
+		if !hb.OK {
+			t.Fatalf("heartbeat on live lease refused")
+		}
+		if cr := h.completeUnit("w1", lr.Unit); !cr.OK || cr.Duplicates != 0 {
+			t.Fatalf("complete: %+v", cr)
+		}
+	}
+	if err := <-h.coordErr; err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	if got := h.j.Len(); got != testKey.N {
+		t.Errorf("journal holds %d records, want %d", got, testKey.N)
+	}
+	// After the campaign, the same lease generation is stale.
+	if lr := h.lease("w1"); !lr.Stale && !lr.Done {
+		t.Errorf("post-campaign lease = %+v, want stale or done", lr)
+	}
+}
+
+func TestCoordinatorExpiryAndSteal(t *testing.T) {
+	h := newHarness(t, nil)
+	// Drain the pending queue: three workers hold the three units, so
+	// a fourth can only be served by stealing an expired lease.
+	l1 := h.lease("w1")
+	l2 := h.lease("w2")
+	l3 := h.lease("w3")
+	if l1.Unit == nil || l2.Unit == nil || l3.Unit == nil {
+		t.Fatalf("leases: %+v %+v %+v", l1, l2, l3)
+	}
+	if lr := h.lease("w4"); !lr.Wait {
+		t.Fatalf("fully leased queue answered %+v, want wait", lr)
+	}
+	// A heartbeat within the TTL keeps w1's unit alive.
+	var hb HeartbeatResponse
+	h.post("/fabric/heartbeat", HeartbeatRequest{Worker: "w1", Generation: 1, Unit: l1.Unit.ID}, &hb)
+	if !hb.OK {
+		t.Fatal("heartbeat on a live lease refused")
+	}
+	h.clock.Advance(1500 * time.Millisecond)
+	// Every lease is now overdue; w4's retry steals one.
+	lr := h.lease("w4")
+	if lr.Unit == nil {
+		t.Fatalf("w4 got nothing after expiry: %+v", lr)
+	}
+	if lr.Unit.Stolen != 1 {
+		t.Errorf("stolen unit reports Stolen=%d, want 1", lr.Unit.Stolen)
+	}
+	// The original owner's heartbeat must now be refused so it abandons
+	// the unit instead of shipping work it no longer owns.
+	h.post("/fabric/heartbeat", HeartbeatRequest{Worker: "w1", Generation: 1, Unit: l1.Unit.ID}, &hb)
+	if hb.OK {
+		t.Error("heartbeat on an expired, re-dispatched lease succeeded")
+	}
+	st := h.c.Status()
+	if st.LeasesExpired < 3 {
+		t.Errorf("LeasesExpired = %d, want >= 3", st.LeasesExpired)
+	}
+	h.cancel()
+}
+
+func TestCoordinatorDuplicateCompletionIsBenign(t *testing.T) {
+	h := newHarness(t, nil)
+	l1 := h.lease("w1")
+	if cr := h.completeUnit("w1", l1.Unit); !cr.OK {
+		t.Fatalf("first complete: %+v", cr)
+	}
+	// A straggler shipping the identical payloads for the same unit is
+	// deterministic overlap: accepted, counted as duplicates.
+	cr := h.completeUnit("w2", l1.Unit)
+	if !cr.OK || cr.Conflict != "" {
+		t.Fatalf("duplicate complete rejected: %+v", cr)
+	}
+	if cr.Duplicates != len(l1.Unit.Indices) {
+		t.Errorf("Duplicates = %d, want %d", cr.Duplicates, len(l1.Unit.Indices))
+	}
+	if st := h.c.Status(); st.DuplicateRecords != len(l1.Unit.Indices) {
+		t.Errorf("status DuplicateRecords = %d, want %d", st.DuplicateRecords, len(l1.Unit.Indices))
+	}
+	h.cancel()
+}
+
+func TestCoordinatorConflictAbortsCampaign(t *testing.T) {
+	h := newHarness(t, nil)
+	l1 := h.lease("w1")
+	h.completeUnit("w1", l1.Unit)
+	// A different payload for an already-journaled index means the fleet
+	// disagrees about the campaign: abort, never last-record-wins.
+	cr := h.complete("w2", l1.Unit.ID, []resilience.Record{record(l1.Unit.Indices[0], "SDC", "w2")})
+	if cr.Conflict == "" || !strings.Contains(cr.Conflict, "conflicting records") {
+		t.Fatalf("conflicting complete answered %+v, want a named conflict", cr)
+	}
+	// The abort surfaces as Coordinate's return value (the campaign
+	// state, conflict included, is torn down with it).
+	err := <-h.coordErr
+	if err == nil || !strings.Contains(err.Error(), "conflicting records") {
+		t.Fatalf("Coordinate returned %v, want the conflict", err)
+	}
+}
+
+func TestCoordinatorPartialShipmentReleasesLease(t *testing.T) {
+	h := newHarness(t, nil)
+	l1 := h.lease("w1")
+	// Ship only the first index of the two-index unit: the unit must not
+	// be marked done, and the lease goes back on the queue.
+	cr := h.complete("w1", l1.Unit.ID, []resilience.Record{record(l1.Unit.Indices[0], "Benign", "w1")})
+	if !cr.OK {
+		t.Fatalf("partial complete: %+v", cr)
+	}
+	if st := h.c.Status(); st.UnitsCompleted != 0 {
+		t.Fatalf("partial shipment completed a unit: %+v", st)
+	}
+	// The released unit is leased again (to anyone); re-executing it
+	// ships one duplicate plus the missing record, finishing the unit.
+	var got *LeaseUnit
+	for i := 0; i < 3; i++ {
+		lr := h.lease("w2")
+		if lr.Unit == nil {
+			t.Fatalf("lease %d: %+v", i, lr)
+		}
+		if lr.Unit.ID == l1.Unit.ID {
+			got = lr.Unit
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("released unit never re-leased")
+	}
+	cr = h.completeUnit("w2", got)
+	if !cr.OK || cr.Duplicates != 1 {
+		t.Fatalf("re-complete: %+v, want OK with 1 duplicate", cr)
+	}
+	if st := h.c.Status(); st.UnitsCompleted != 1 {
+		t.Errorf("UnitsCompleted = %d, want 1", st.UnitsCompleted)
+	}
+	h.cancel()
+}
+
+func TestCoordinatorResumesFromJournal(t *testing.T) {
+	// Records covering units {0,1} and {2,3} already journaled: only the
+	// last unit should ever be leased, and after it completes the
+	// campaign is done.
+	j := resilience.New()
+	for i := 0; i < 4; i++ {
+		j.Append(record(i, "Benign", "earlier-life"))
+	}
+	h := newHarness(t, j)
+	lr := h.lease("w1")
+	if lr.Unit == nil {
+		t.Fatalf("no unit to lease on resume: %+v", lr)
+	}
+	if want := []int{4, 5}; fmt.Sprint(lr.Unit.Indices) != fmt.Sprint(want) {
+		t.Fatalf("resumed lease owns %v, want %v", lr.Unit.Indices, want)
+	}
+	h.completeUnit("w1", lr.Unit)
+	if err := <-h.coordErr; err != nil {
+		t.Fatalf("Coordinate after resume: %v", err)
+	}
+}
+
+func TestCoordinatorFullyJournaledCampaignFinishesInstantly(t *testing.T) {
+	j := resilience.New()
+	for i := 0; i < testKey.N; i++ {
+		j.Append(record(i, "Benign", "earlier-life"))
+	}
+	c := NewCoordinator(j, Options{LeaseTTL: time.Second, UnitSize: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Coordinate(ctx, testManifest()); err != nil {
+		t.Fatalf("Coordinate over a complete journal: %v", err)
+	}
+}
+
+func TestCoordinatorStaleGeneration(t *testing.T) {
+	h := newHarness(t, nil)
+	var lr LeaseResponse
+	h.post("/fabric/lease", LeaseRequest{Worker: "w1", Generation: 99}, &lr)
+	if !lr.Stale {
+		t.Errorf("wrong-generation lease = %+v, want stale", lr)
+	}
+	var cr CompleteResponse
+	h.post("/fabric/complete", CompleteRequest{Worker: "w1", Generation: 99, Unit: 0,
+		Records: []resilience.Record{record(0, "Benign", "w1")}}, &cr)
+	if cr.OK {
+		t.Errorf("wrong-generation complete accepted: %+v", cr)
+	}
+	if h.j.Len() != 0 {
+		t.Errorf("stale complete reached the journal (%d records)", h.j.Len())
+	}
+	h.cancel()
+}
+
+func TestCoordinatorRejectsMalformedRequests(t *testing.T) {
+	h := newHarness(t, nil)
+	post := func(path, body string) int {
+		resp, err := http.Post(h.srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/fabric/lease", "{nope"); code != http.StatusBadRequest {
+		t.Errorf("bad JSON lease: status %d, want 400", code)
+	}
+	if code := post("/fabric/lease", `{"worker":"","generation":1}`); code != http.StatusBadRequest {
+		t.Errorf("anonymous lease: status %d, want 400", code)
+	}
+	resp, err := http.Get(h.srv.URL + "/fabric/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET lease: status %d, want 405", resp.StatusCode)
+	}
+
+	l1 := h.lease("w1")
+	foreign := record(l1.Unit.Indices[0], "Benign", "w1")
+	foreign.App = "NotThisCampaign"
+	var cr CompleteResponse
+	if code := h.post("/fabric/complete",
+		CompleteRequest{Worker: "w1", Generation: 1, Unit: l1.Unit.ID,
+			Records: []resilience.Record{foreign}}, &cr); code != http.StatusBadRequest {
+		t.Errorf("foreign-campaign record: status %d, want 400", code)
+	}
+	outside := record(5, "Benign", "w1") // unit 0 owns {0,1}
+	if code := h.post("/fabric/complete",
+		CompleteRequest{Worker: "w1", Generation: 1, Unit: l1.Unit.ID,
+			Records: []resilience.Record{outside}}, &cr); code != http.StatusBadRequest {
+		t.Errorf("out-of-unit record: status %d, want 400", code)
+	}
+	if h.j.Len() != 0 {
+		t.Errorf("rejected shipments reached the journal (%d records)", h.j.Len())
+	}
+	h.cancel()
+}
+
+func TestCoordinatorFinishAndDrain(t *testing.T) {
+	h := newHarness(t, nil)
+	h.c.Finish()
+	var camp CampaignResponse
+	h.get("/fabric/campaign?worker=w1", &camp)
+	if !camp.Done {
+		t.Fatalf("campaign poll after Finish = %+v, want done", camp)
+	}
+	if lr := h.lease("w2"); !lr.Done {
+		t.Fatalf("lease after Finish = %+v, want done", lr)
+	}
+	// The harness's own probe worker must hear Done too, or the drain
+	// (rightly) waits for it until the timeout.
+	h.get("/fabric/campaign?worker=probe", &camp)
+	// Every worker that spoke to us has now heard Done, so the drain
+	// returns well before its timeout.
+	start := time.Now()
+	h.c.AwaitDrain(5 * time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("AwaitDrain took %v with a drained fleet", elapsed)
+	}
+	h.cancel()
+}
+
+func TestCoordinatorStatusEndpoint(t *testing.T) {
+	h := newHarness(t, nil)
+	h.lease("w1")
+	var st Status
+	h.get("/fabric/status", &st)
+	if st.Generation != 1 || st.Units != 3 || st.UnitsLeased != 1 || st.LeasesGranted != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if len(st.Leases) != 1 || st.Leases[0].Worker != "w1" {
+		t.Errorf("status leases = %+v", st.Leases)
+	}
+	found := false
+	for _, w := range st.Workers {
+		if w.Name == "w1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("status workers missing w1: %+v", st.Workers)
+	}
+	h.cancel()
+}
+
+func TestAutoUnitSize(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {31, 1}, {64, 2}, {2000, 62}, {100000, 256},
+	} {
+		if got := autoUnitSize(tc.n); got != tc.want {
+			t.Errorf("autoUnitSize(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package fabric is the networked layer of the campaign pipeline
+// (docs/FABRIC.md): a coordinator that serves a PlanManifest-derived
+// work queue over HTTP, and a worker client that executes leased units
+// against the inject Execute stage and ships the resulting journal
+// records back.
+//
+// PR 8's sharding is static — shard i/n is fixed at launch, and a dead
+// or slow process stalls the merge forever. The fabric replaces that
+// with dynamic dispatch built for failure:
+//
+//   - Work units are *leased* with a TTL, not assigned. A worker renews
+//     its lease by heartbeat; a lease that expires (crashed or stalled
+//     worker) goes back on the queue and is re-dispatched to whoever
+//     asks next — work stealing from stragglers.
+//   - Completed units ship their journal records to the coordinator over
+//     HTTP, so no shared filesystem is needed. The coordinator persists
+//     them through the crash-safe resilience journal, which doubles as
+//     its own resume state: a killed coordinator reopens the journal and
+//     re-dispatches only the uncovered units.
+//   - Determinism does the heavy lifting on duplicates: a stolen unit
+//     completed by both the straggler and the thief produces
+//     payload-identical records (resilience.SamePayload), which merge
+//     benignly; any disagreement is a configuration bug and aborts the
+//     campaign rather than letting the last record win.
+//   - Workers never trust the network: every call retries with
+//     exponential backoff plus jitter, and a worker only executes a plan
+//     whose locally derived manifest digest matches the coordinator's.
+//
+// The protocol is deliberately small — four POST/GET JSON endpoints under
+// /fabric/ — and carries no plan data: both sides derive the full plan
+// from the campaign key (the Plan stage is a pure function of it), so
+// the wire only moves indices and classified records.
+package fabric
+
+import (
+	"time"
+
+	"github.com/letgo-hpc/letgo/internal/resilience"
+)
+
+// Default protocol parameters.
+const (
+	// DefaultLeaseTTL is how long a leased unit may go without a
+	// heartbeat before the coordinator re-dispatches it.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultPollInterval is the worker's idle poll cadence while the
+	// coordinator has no campaign published or no unit free.
+	DefaultPollInterval = 500 * time.Millisecond
+)
+
+// CampaignSpec describes the campaign the coordinator is currently
+// distributing. It deliberately carries no plan payload: the worker
+// re-derives the plan from the key (Plan is a pure function of it) and
+// proves agreement by digest.
+type CampaignSpec struct {
+	// Generation increases by one for every campaign the coordinator
+	// publishes within an invocation; every lease, heartbeat and
+	// completion names the generation it belongs to, so requests from a
+	// worker still executing a finished campaign are rejected as stale
+	// instead of corrupting the next one.
+	Generation int `json:"generation"`
+	// Key identifies the campaign (app, mode, n, seed, model).
+	Key resilience.Key `json:"key"`
+	// ManifestDigest is the coordinator's inject.PlanManifest digest;
+	// workers refuse to execute when their locally planned digest
+	// differs.
+	ManifestDigest string `json:"manifest_digest"`
+	// Units and UnitSize describe the partition of [0, n).
+	Units    int `json:"units"`
+	UnitSize int `json:"unit_size"`
+	// LeaseTTL is the coordinator's lease TTL; workers derive their
+	// heartbeat cadence from it.
+	LeaseTTL time.Duration `json:"lease_ttl_ns"`
+}
+
+// CampaignResponse answers GET /fabric/campaign.
+type CampaignResponse struct {
+	// Spec is the published campaign, nil while the coordinator is
+	// between campaigns (workers back off and poll again).
+	Spec *CampaignSpec `json:"spec,omitempty"`
+	// Done means the whole invocation is over: workers should exit.
+	Done bool `json:"done,omitempty"`
+}
+
+// LeaseRequest asks for one work unit (POST /fabric/lease).
+type LeaseRequest struct {
+	Worker     string `json:"worker"`
+	Generation int    `json:"generation"`
+}
+
+// LeaseUnit is a granted lease: the unit's plan indices, to be executed
+// and shipped back before the TTL runs out (or kept alive by heartbeat).
+type LeaseUnit struct {
+	ID      int   `json:"id"`
+	Indices []int `json:"indices"`
+	// Stolen counts prior expired leases on this unit — diagnostic
+	// evidence of how contested the unit has been.
+	Stolen int `json:"stolen,omitempty"`
+}
+
+// LeaseResponse answers a lease request. Exactly one of Unit, Wait,
+// Stale or Done describes the outcome.
+type LeaseResponse struct {
+	Unit *LeaseUnit `json:"unit,omitempty"`
+	// Wait: every pending unit is currently leased; retry after a
+	// backoff (a lease may expire in the meantime — that retry is what
+	// turns a straggler's unit into stolen work).
+	Wait bool `json:"wait,omitempty"`
+	// Stale: the request's generation is no longer the published
+	// campaign (finished, aborted, or superseded) — re-fetch
+	// /fabric/campaign.
+	Stale bool `json:"stale,omitempty"`
+	// Done: the invocation is over; exit.
+	Done bool `json:"done,omitempty"`
+}
+
+// HeartbeatRequest renews a lease (POST /fabric/heartbeat).
+type HeartbeatRequest struct {
+	Worker     string `json:"worker"`
+	Generation int    `json:"generation"`
+	Unit       int    `json:"unit"`
+}
+
+// HeartbeatResponse answers a heartbeat. OK=false means the lease is no
+// longer this worker's — it expired and was re-dispatched, or the unit
+// is already complete — and the worker should abandon the unit.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest ships a finished unit's journal records
+// (POST /fabric/complete).
+type CompleteRequest struct {
+	Worker     string              `json:"worker"`
+	Generation int                 `json:"generation"`
+	Unit       int                 `json:"unit"`
+	Records    []resilience.Record `json:"records"`
+}
+
+// CompleteResponse answers a completion.
+type CompleteResponse struct {
+	// OK: the records were merged (possibly as benign duplicates). False
+	// with empty Conflict means the request was stale (wrong
+	// generation); false with Conflict set means the campaign aborted.
+	OK bool `json:"ok"`
+	// Duplicates counts shipped records that were already journaled with
+	// an identical payload — the benign trace of a stolen-then-completed
+	// unit.
+	Duplicates int `json:"duplicates,omitempty"`
+	// Conflict names a payload disagreement between writers for the same
+	// injection. The campaign is aborted: determinism says this cannot
+	// happen unless the fleet disagrees about what the campaign is.
+	Conflict string `json:"conflict,omitempty"`
+}
+
+// LeaseStatus describes one live lease in the status snapshot.
+type LeaseStatus struct {
+	Unit             int     `json:"unit"`
+	Worker           string  `json:"worker"`
+	ExpiresInSeconds float64 `json:"expires_in_seconds"`
+	Stolen           int     `json:"stolen,omitempty"`
+}
+
+// WorkerStatus describes one worker the coordinator has heard from.
+type WorkerStatus struct {
+	Name            string  `json:"name"`
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	UnitsCompleted  int     `json:"units_completed"`
+}
+
+// Status is the GET /fabric/status snapshot: the coordinator's live
+// view of the campaign, its queue, and its fleet.
+type Status struct {
+	Generation       int            `json:"generation"`
+	Campaign         string         `json:"campaign,omitempty"`
+	Done             bool           `json:"done,omitempty"`
+	Units            int            `json:"units"`
+	UnitsCompleted   int            `json:"units_completed"`
+	UnitsLeased      int            `json:"units_leased"`
+	UnitsPending     int            `json:"units_pending"`
+	LeasesGranted    int            `json:"leases_granted"`
+	LeasesExpired    int            `json:"leases_expired"`
+	Heartbeats       int            `json:"heartbeats"`
+	RecordsShipped   int            `json:"records_shipped"`
+	DuplicateRecords int            `json:"duplicate_records,omitempty"`
+	Conflict         string         `json:"conflict,omitempty"`
+	Leases           []LeaseStatus  `json:"leases,omitempty"`
+	Workers          []WorkerStatus `json:"workers,omitempty"`
+}

@@ -41,6 +41,18 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode?%d", m)
 }
 
+// ParseMode inverts Mode.String. It exists so a process can reconstruct
+// a campaign from a journal key or a fabric campaign spec, where the
+// mode travels as its rendered name.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{NoLetGo, LetGoB, LetGoE} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("inject: unknown mode %q", s)
+}
+
 // CoreOptions translates an injection mode into LetGo runner options.
 func (m Mode) CoreOptions() core.Options {
 	switch m {
@@ -75,6 +87,16 @@ func (f FaultModel) String() string {
 		return "byte-burst"
 	}
 	return fmt.Sprintf("faultmodel?%d", f)
+}
+
+// ParseFaultModel inverts FaultModel.String (see ParseMode).
+func ParseFaultModel(s string) (FaultModel, error) {
+	for _, f := range []FaultModel{SingleBit, DoubleBit, ByteBurst} {
+		if s == f.String() {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("inject: unknown fault model %q", s)
 }
 
 // mask draws a corruption mask for the model.

@@ -1,0 +1,114 @@
+package inject
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/letgo-hpc/letgo/internal/resilience"
+)
+
+// FuzzPlanManifest feeds arbitrary bytes to ParsePlanManifest. A
+// manifest crosses process boundaries over the fabric protocol, so the
+// parser must never panic on hostile input, and whatever it accepts must
+// round-trip byte-stably through Encode — otherwise two processes could
+// agree on a digest while holding different plans.
+func FuzzPlanManifest(f *testing.F) {
+	canonical := func(m PlanManifest) []byte {
+		b, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	// The clean path: a real manifest's canonical encoding.
+	f.Add(canonical(PlanManifest{
+		Key:    resilience.Key{App: "CLAMR", Mode: "letgo-e", N: 2, Seed: 7, Model: "bitflip"},
+		Budget: 123456, GoldenRetired: 41152,
+		Plans: []PlanRecord{{Addr: 64, Instance: 3, Mask: 1 << 17}, {Addr: 72, Instance: 1, Mask: 1}},
+	}))
+	f.Add(canonical(PlanManifest{}))
+	// Unknown fields and trailing data must be rejected (strictness is
+	// the provenance guarantee), not mangled into a "valid" manifest.
+	f.Add([]byte(`{"key":{"app":"A","mode":"m","n":1,"seed":1,"model":"x"},"budget":1,"golden_retired":1,"plans":[],"future":true}`))
+	f.Add([]byte(`{"budget":1}{"budget":2}`))
+	// Pathological shapes.
+	f.Add([]byte(`{"plans":[{"addr":18446744073709551615,"instance":0,"mask":0}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("not json \x00\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParsePlanManifest(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted input must re-encode, re-parse, and re-encode to the
+		// same bytes: the digest of a manifest is only meaningful if its
+		// canonical form is a fixed point.
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted manifest does not encode: %v", err)
+		}
+		m2, err := ParsePlanManifest(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not parse: %v\n%s", err, enc)
+		}
+		enc2, err := m2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round-trip not byte-stable:\n%s\nvs\n%s", enc, enc2)
+		}
+		d1, err := m.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := m2.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("digest not stable across round-trip: %s vs %s", d1, d2)
+		}
+	})
+}
+
+func TestPlanManifestStrictParsing(t *testing.T) {
+	m := PlanManifest{
+		Key:    resilience.Key{App: "CLAMR", Mode: "letgo-e", N: 2, Seed: 7, Model: "bitflip"},
+		Budget: 9, GoldenRetired: 5,
+		Plans: []PlanRecord{{Addr: 8, Instance: 2, Mask: 4}},
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePlanManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Errorf("round-trip changed the encoding:\n%s\nvs\n%s", enc, enc2)
+	}
+	d1, _ := m.Digest()
+	d2, _ := got.Digest()
+	if d1 == "" || d1 != d2 {
+		t.Errorf("digests differ: %q vs %q", d1, d2)
+	}
+
+	if _, err := ParsePlanManifest(append(append([]byte(nil), enc...), enc...)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := ParsePlanManifest([]byte(`{"budget":1,"surprise":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParsePlanManifest(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,7 +1,11 @@
 package inject
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -76,6 +80,50 @@ func (p *PlannedCampaign) Manifest() PlanManifest {
 		m.Plans[i] = PlanRecord{Addr: pl.Site.Addr, Instance: pl.Site.Instance, Mask: pl.Mask}
 	}
 	return m
+}
+
+// Encode renders the manifest in its canonical byte form: compact JSON
+// with the struct's field order. Two processes that planned the same
+// campaign produce byte-identical encodings, which is what makes the
+// Digest a cheap cross-process provenance check.
+func (m PlanManifest) Encode() ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// Digest returns the hex SHA-256 of the canonical encoding. A fabric
+// worker compares its locally planned digest against the coordinator's
+// before executing anything: a mismatch means the two processes disagree
+// about what the campaign is (different binary, seed, or model) and no
+// unit from that plan may be trusted.
+func (m PlanManifest) Digest() (string, error) {
+	b, err := m.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ParsePlanManifest inverts Encode. It is strict — unknown fields and
+// trailing garbage are errors, not silently dropped — because a manifest
+// crosses process and version boundaries: accepting a field this binary
+// does not understand would let two processes believe they agree on a
+// plan they do not. Valid manifests round-trip byte-stably through
+// Encode, and hostile input fails with an error, never a panic
+// (FuzzPlanManifest pins both properties).
+func ParsePlanManifest(data []byte) (PlanManifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m PlanManifest
+	if err := dec.Decode(&m); err != nil {
+		return PlanManifest{}, fmt.Errorf("inject: bad plan manifest: %w", err)
+	}
+	// A second value after the manifest object is as suspect as an
+	// unknown field.
+	if dec.More() {
+		return PlanManifest{}, fmt.Errorf("inject: bad plan manifest: trailing data")
+	}
+	return m, nil
 }
 
 // PlanContext runs the pipeline's Plan stage in isolation: compile,

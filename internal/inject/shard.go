@@ -2,6 +2,7 @@ package inject
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -92,6 +93,29 @@ func (u *WorkUnit) Size() int { return len(u.Indices) }
 // Has reports whether plan index i belongs to the unit.
 func (u *WorkUnit) Has(i int) bool {
 	return i >= 0 && i < len(u.member) && u.member[i]
+}
+
+// Unit builds a work unit over an explicit set of plan indices — the
+// dynamic-dispatch analogue of Shard, used by fabric workers executing
+// coordinator-leased units that are not round-robin slices. Indices are
+// deduplicated and sorted; any index outside [0, len(Plans)) is an
+// error. The unit carries the zero ShardSpec: its identity lives in the
+// journal writer stamp the caller chooses, not in shard arithmetic.
+func (p *PlannedCampaign) Unit(indices []int) (*WorkUnit, error) {
+	n := len(p.Plans)
+	u := &WorkUnit{Key: p.Key, member: make([]bool, n)}
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("inject: unit index %d outside plan [0, %d)", i, n)
+		}
+		if u.member[i] {
+			continue
+		}
+		u.member[i] = true
+		u.Indices = append(u.Indices, i)
+	}
+	sort.Ints(u.Indices)
+	return u, nil
 }
 
 // Shard is the pipeline's Shard stage: a deterministic partition of the

@@ -50,6 +50,7 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 	// done is closed by Close so long-lived SSE handlers return without
 	// waiting for the shutdown grace period.
 	done      chan struct{}
@@ -75,9 +76,21 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.ln = ln
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
+}
+
+// Handle mounts an extra handler on the plane's mux — e.g. the fabric
+// coordinator's /fabric/status snapshot. ServeMux registration is
+// locked internally, so mounting after Start is safe. Safe on a nil
+// server (no-op), matching the rest of the plane's optional wiring.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || s.mux == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
 }
 
 // ForSinks starts a server over a tool's opened sinks. The sinks must

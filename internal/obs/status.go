@@ -49,6 +49,13 @@ type StatusSnapshot struct {
 	AnalysisLiveRegions    int    `json:"analysis_live_regions,omitempty"`
 	DerivedCheckpointBytes uint64 `json:"derived_checkpoint_bytes,omitempty"`
 	FullStateBytes         uint64 `json:"full_state_bytes,omitempty"`
+	// Merge facts from a -merge invocation (and the fabric coordinator's
+	// final render): how many shard journals were combined and how their
+	// writer-identity collisions split into benign-identical vs
+	// conflicting. Absent outside merges.
+	MergeJournals             int `json:"merge_journals,omitempty"`
+	MergeIdenticalCollisions  int `json:"merge_identical_collisions,omitempty"`
+	MergeConflictingCollision int `json:"merge_conflicting_collisions,omitempty"`
 }
 
 // CampaignStatus accumulates live campaign state for /status. All methods
@@ -73,8 +80,14 @@ type CampaignStatus struct {
 	anLiveRegions int
 	derivedBytes  uint64
 	fullBytes     uint64
-	start         time.Time
-	now           func() time.Time
+	// Merge facts are invocation-scoped, not campaign-scoped: set once
+	// when the shard journals combine, they survive Begin's per-campaign
+	// reset so every campaign rendered from the merge carries them.
+	mergeJournals    int
+	mergeIdentical   int
+	mergeConflicting int
+	start            time.Time
+	now              func() time.Time
 }
 
 // NewCampaignStatus returns an empty tracker.
@@ -128,6 +141,18 @@ func (s *CampaignStatus) SetShard(index, count, planned int) {
 	}
 	s.mu.Lock()
 	s.shardIndex, s.shardCount, s.shardPlanned = index, count, planned
+	s.mu.Unlock()
+}
+
+// SetMerge records how the invocation's shard journals combined: the
+// journal count and the identical/conflicting collision split. Unlike
+// the per-campaign fields, these persist across Begin.
+func (s *CampaignStatus) SetMerge(journals, identical, conflicting int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.mergeJournals, s.mergeIdentical, s.mergeConflicting = journals, identical, conflicting
 	s.mu.Unlock()
 }
 
@@ -226,6 +251,8 @@ func (s *CampaignStatus) Snapshot() StatusSnapshot {
 		CkptModel:       s.ckptModel,
 		AnalysisRegions: s.anRegions, AnalysisLiveRegions: s.anLiveRegions,
 		DerivedCheckpointBytes: s.derivedBytes, FullStateBytes: s.fullBytes,
+		MergeJournals: s.mergeJournals, MergeIdenticalCollisions: s.mergeIdentical,
+		MergeConflictingCollision: s.mergeConflicting,
 	}
 	if s.shardCount > 0 {
 		snap.Shard = fmt.Sprintf("%d/%d", s.shardIndex, s.shardCount)

@@ -98,6 +98,15 @@ type Journal struct {
 	Writer string
 }
 
+// New returns an empty in-memory journal with no backing file: Append
+// and Flush work (persistence is a no-op), so it serves as a record
+// buffer for code that ships records elsewhere — a fabric worker
+// collecting a work unit's results before posting them to the
+// coordinator, or MergeFiles building its union.
+func New() *Journal {
+	return &Journal{index: map[Key]map[int]int{}}
+}
+
 // Create opens a fresh journal at path, ignoring any existing content
 // (the file is only replaced on the first flush). The directory must be
 // writable: a probe write runs eagerly so -journal path errors surface
@@ -198,6 +207,21 @@ func (j *Journal) Completed(k Key) map[int]Record {
 		out[idx] = j.recs[pos]
 	}
 	return out
+}
+
+// Lookup returns the journaled record for one (campaign, index), if any.
+// A nil journal holds nothing.
+func (j *Journal) Lookup(k Key, index int) (Record, bool) {
+	if j == nil {
+		return Record{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pos, ok := j.index[k][index]
+	if !ok {
+		return Record{}, false
+	}
+	return j.recs[pos], true
 }
 
 // Records returns a snapshot of the journal's records in log order (after

@@ -36,9 +36,14 @@ func (c Collision) String() string {
 	return fmt.Sprintf("%s records for %s index %d from writers %v", kind, c.Key, c.Index, c.Writers)
 }
 
-// samePayload reports whether two records agree on everything except
-// their writer identity.
-func samePayload(a, b Record) bool {
+// SamePayload reports whether two records agree on everything except
+// their writer identity. This is the collision predicate shared by
+// MergeFiles and the fabric coordinator: because campaign results are
+// deterministic, records from two writers that legitimately overlap (a
+// re-dispatched work unit completed by both the straggler and the thief)
+// are payload-identical, and any disagreement is a partitioning or
+// configuration bug.
+func SamePayload(a, b Record) bool {
 	a.Writer, b.Writer = "", ""
 	return a == b
 }
@@ -59,7 +64,7 @@ func MergeFiles(paths []string) (*Journal, []Collision, error) {
 	copy(sorted, paths)
 	sort.Strings(sorted)
 
-	merged := &Journal{index: map[Key]map[int]int{}}
+	merged := New()
 	type claim struct {
 		writers []string // distinct writers in first-seen order
 		agree   bool     // all payloads so far are identical
@@ -78,7 +83,7 @@ func MergeFiles(paths []string) (*Journal, []Collision, error) {
 			}
 			if cl, ok := byIdx[r.Index]; ok {
 				prev := merged.recs[merged.index[r.Key][r.Index]]
-				if !samePayload(prev, r) {
+				if !SamePayload(prev, r) {
 					cl.agree = false
 				}
 				if !containsString(cl.writers, r.Writer) {

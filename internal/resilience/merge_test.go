@@ -230,3 +230,52 @@ func TestWriterStamping(t *testing.T) {
 		t.Errorf("Writers() = %v, want %v", got, want)
 	}
 }
+
+func TestMergeFilesSameJournalTwice(t *testing.T) {
+	// The same path listed twice (a sloppy glob, a duplicated CLI arg) is
+	// a single writer agreeing with itself: every record merges cleanly
+	// and no collision is reported — the writer set has one element and
+	// the payloads are identical by construction.
+	k := mergeKey()
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	writeJournal(t, a,
+		Record{Key: k, Writer: "1/1", Index: 0, Class: "Benign"},
+		Record{Key: k, Writer: "1/1", Index: 1, Class: "SDC"},
+	)
+	merged, collisions, err := MergeFiles([]string{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collisions) != 0 {
+		t.Fatalf("self-merge produced collisions: %v", collisions)
+	}
+	if merged.Len() != 2 {
+		t.Fatalf("self-merge holds %d records, want 2", merged.Len())
+	}
+}
+
+func TestMergeFilesUnreadableFileMidSet(t *testing.T) {
+	// An unreadable journal in the middle of the set must fail the whole
+	// merge: silently dropping one shard's records would render a table
+	// that looks complete and is not. (Distinct from a *missing* file,
+	// which Open treats as an empty journal.)
+	if os.Getuid() == 0 {
+		t.Skip("file permissions do not bind as root")
+	}
+	k := mergeKey()
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	c := filepath.Join(dir, "c.jsonl")
+	writeJournal(t, a, Record{Key: k, Writer: "1/2", Index: 0, Class: "Benign"})
+	writeJournal(t, c, Record{Key: k, Writer: "2/2", Index: 1, Class: "SDC"})
+	locked := filepath.Join(dir, "b.jsonl")
+	writeJournal(t, locked, Record{Key: k, Writer: "3/3", Index: 2, Class: "Benign"})
+	if err := os.Chmod(locked, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(locked, 0o644) //nolint:errcheck // best-effort cleanup
+	if _, _, err := MergeFiles([]string{a, locked, c}); err == nil {
+		t.Fatal("merge with an unreadable journal did not error")
+	}
+}
